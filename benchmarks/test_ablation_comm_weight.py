@@ -1,0 +1,71 @@
+"""Ablation: the communication-locality extension of Algorithm 1.
+
+A future-work direction the NoC model makes testable: adding Fattah's
+locality objective as a weighted term in Hayat's candidate ranking.
+Expected shape: communication cost falls monotonically with the weight
+while the aging metrics stay close to the paper's pure Algorithm 1 —
+locality and aging are barely in tension once the DCM is spread.
+"""
+
+import numpy as np
+
+from repro import (
+    ChipContext,
+    HayatManager,
+    LifetimeSimulator,
+    SimulationConfig,
+    generate_population,
+)
+from repro.aging.tables import default_aging_table
+from repro.analysis import format_table
+
+NUM_CHIPS = 3
+WEIGHTS = [0.0, 1.0, 4.0]
+
+
+def _run_all():
+    table = default_aging_table()
+    population = generate_population(NUM_CHIPS, seed=42)
+    cfg = SimulationConfig(dark_fraction_min=0.5, window_s=10.0, seed=1)
+    out = {}
+    for weight in WEIGHTS:
+        runs = []
+        for chip in population:
+            ctx = ChipContext(chip, table, dark_fraction_min=0.5)
+            runs.append(
+                LifetimeSimulator(cfg).run(ctx, HayatManager(comm_weight=weight))
+            )
+        out[weight] = runs
+    return out
+
+
+def test_ablation_comm_weight(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    comm = {}
+    aging = {}
+    for weight, runs in results.items():
+        comm[weight] = np.mean([r.mean_comm_cost() for r in runs])
+        aging[weight] = np.mean([r.avg_fmax_aging_rate() for r in runs])
+        rows.append(
+            [
+                f"{weight:.1f}",
+                f"{comm[weight]:.1f}",
+                f"{aging[weight]:.4f}",
+                f"{np.mean([r.total_dtm_events() for r in runs]):.0f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["comm weight", "comm cost (GB/s-hops)", "avg-fmax aging", "DTM events"],
+            rows,
+            title="Ablation: communication-aware Hayat (50 % dark, 10 years)",
+        )
+    )
+
+    # Locality improves with the weight...
+    assert comm[4.0] < comm[0.0]
+    # ...without giving back the aging result (within 15 % relative).
+    assert aging[4.0] < aging[0.0] * 1.15

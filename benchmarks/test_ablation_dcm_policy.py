@@ -1,0 +1,88 @@
+"""Ablation: how much of Hayat's win comes from the DCM alone?
+
+Runs the same lifetime campaign under four DCM/mapping combinations —
+contiguous (naive), coolest-first (temperature-only), random, and full
+Hayat — at a 50 % dark floor.  DESIGN.md calls out the DCM choice as the
+paper's central design decision (Section II); this bench quantifies it.
+
+Expected shape: contiguous is worst on peak temperature and DTM events;
+temperature-only fixes the heat but burns fast cores (chip-fmax aging);
+full Hayat matches temperature-only thermally while preserving the
+fastest cores.
+"""
+
+import numpy as np
+
+from repro import (
+    ChipContext,
+    ContiguousManager,
+    CoolestFirstManager,
+    HayatManager,
+    LifetimeSimulator,
+    RandomManager,
+    SimulationConfig,
+    generate_population,
+)
+from repro.aging.tables import default_aging_table
+from repro.analysis import format_table
+
+NUM_CHIPS = 4
+
+
+def _run_all():
+    table = default_aging_table()
+    population = generate_population(NUM_CHIPS, seed=42)
+    cfg = SimulationConfig(dark_fraction_min=0.5, window_s=10.0, seed=1)
+    policies = [
+        ContiguousManager(),
+        RandomManager(seed=5),
+        CoolestFirstManager(),
+        HayatManager(),
+    ]
+    out = {}
+    for policy in policies:
+        runs = []
+        for chip in population:
+            ctx = ChipContext(chip, table, dark_fraction_min=0.5)
+            runs.append(LifetimeSimulator(cfg).run(ctx, policy))
+        out[policy.name] = runs
+    return out
+
+
+def test_ablation_dcm_policy(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    metrics = {}
+    for name, runs in results.items():
+        events = np.mean([r.total_dtm_events() for r in runs])
+        peak = np.mean([np.mean([e.peak_temp_k for e in r.epochs]) for r in runs])
+        chip_rate = np.mean([r.chip_fmax_aging_rate() for r in runs])
+        avg_rate = np.mean([r.avg_fmax_aging_rate() for r in runs])
+        metrics[name] = (events, peak, chip_rate, avg_rate)
+        rows.append(
+            [
+                name,
+                f"{events:.0f}",
+                f"{peak:.1f}",
+                f"{chip_rate:.4f}",
+                f"{avg_rate:.4f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "DTM events", "mean peak T (K)", "chip-fmax rate", "avg-fmax rate"],
+            rows,
+            title="Ablation: DCM/mapping policy at 50 % dark (10-year lifetimes)",
+        )
+    )
+
+    # Hayat is the thermally best-behaved policy: fewest DTM
+    # interventions and the lowest sustained peak temperature.
+    assert metrics["hayat"][0] == min(m[0] for m in metrics.values())
+    assert metrics["hayat"][1] == min(m[1] for m in metrics.values())
+    # Contiguous runs hottest; random ages the fastest core worst
+    # (it has no notion of saving anything).
+    assert metrics["contiguous"][1] == max(m[1] for m in metrics.values())
+    assert metrics["random"][2] == max(m[2] for m in metrics.values())

@@ -1,0 +1,75 @@
+"""Ablation: the Eq. 9 coefficient schedule (early vs late aging).
+
+The paper found alpha=0.6/beta=1 good for early aging and
+alpha=4/beta=0.3 for late aging, switching between them over the chip's
+life.  This bench compares the scheduled configuration against running
+either set for the whole lifetime.
+
+Expected shape: the scheduled configuration is never worse than the
+worse of the two fixed settings on average frequency retention —
+the schedule exists to get the best of both phases.
+"""
+
+import numpy as np
+
+from repro import (
+    ChipContext,
+    HayatManager,
+    LifetimeSimulator,
+    SimulationConfig,
+    WeightingConfig,
+    generate_population,
+)
+from repro.aging.tables import default_aging_table
+from repro.analysis import format_table
+
+NUM_CHIPS = 3
+
+CONFIGS = {
+    "scheduled (paper)": WeightingConfig(),
+    "early-only": WeightingConfig(
+        alpha_late=0.6, beta_late=1.0, phase_switch_years=1e9
+    ),
+    "late-only": WeightingConfig(
+        alpha_early=4.0, beta_early=0.3, phase_switch_years=0.0
+    ),
+}
+
+
+def _run_all():
+    table = default_aging_table()
+    population = generate_population(NUM_CHIPS, seed=42)
+    cfg = SimulationConfig(dark_fraction_min=0.5, window_s=10.0, seed=1)
+    out = {}
+    for label, weighting in CONFIGS.items():
+        runs = []
+        for chip in population:
+            ctx = ChipContext(chip, table, dark_fraction_min=0.5)
+            policy = HayatManager(weighting_config=weighting)
+            runs.append(LifetimeSimulator(cfg).run(ctx, policy))
+        out[label] = runs
+    return out
+
+
+def test_ablation_weighting_schedule(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    end_freqs = {}
+    for label, runs in results.items():
+        end = np.mean([r.avg_fmax_trajectory_ghz()[-1] for r in runs])
+        chip_rate = np.mean([r.chip_fmax_aging_rate() for r in runs])
+        events = np.mean([r.total_dtm_events() for r in runs])
+        end_freqs[label] = end
+        rows.append([label, f"{end:.3f}", f"{chip_rate:.4f}", f"{events:.0f}"])
+    print()
+    print(
+        format_table(
+            ["schedule", "avg fmax @10y (GHz)", "chip-fmax rate", "DTM events"],
+            rows,
+            title="Ablation: Eq. 9 coefficient schedule (50 % dark)",
+        )
+    )
+
+    worst_fixed = min(end_freqs["early-only"], end_freqs["late-only"])
+    assert end_freqs["scheduled (paper)"] >= worst_fixed - 0.02

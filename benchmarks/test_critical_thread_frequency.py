@@ -1,0 +1,62 @@
+"""Extension bench: late-life critical single-thread service.
+
+Section II motivates preserving high-frequency cores "to fulfill the
+deadline constraints of a critical (single-threaded) application".
+This bench asks the operational question behind Fig. 9: after 10 years
+of management, what frequency can each chip still offer a suddenly-
+arriving critical thread?
+
+Expected shape: Hayat-managed chips offer (nearly) their year-0 maximum
+frequency — the preserved cores never aged — while VAA-managed chips
+offer only their aged maximum.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.power import FrequencyLadder
+
+
+def _critical_offers(campaign):
+    """Per-chip best single-core frequency at year 10, per policy."""
+    ladder = FrequencyLadder()
+    offers = {}
+    for name, runs in campaign.results.items():
+        offers[name] = np.array(
+            [
+                float(ladder.quantize_down(r.fmax_trajectory_ghz()[-1].max()))
+                for r in runs
+            ]
+        )
+    fresh = np.array(
+        [
+            float(ladder.quantize_down(r.fmax_init_ghz.max()))
+            for r in campaign.results["vaa"]
+        ]
+    )
+    return offers, fresh
+
+
+def test_critical_thread_frequency(campaign50, benchmark):
+    offers, fresh = benchmark(_critical_offers, campaign50)
+
+    rows = [
+        ["year-0 (any policy)", f"{fresh.mean():.2f}", f"{fresh.min():.2f}"],
+        ["VAA @ year 10", f"{offers['vaa'].mean():.2f}", f"{offers['vaa'].min():.2f}"],
+        ["Hayat @ year 10", f"{offers['hayat'].mean():.2f}", f"{offers['hayat'].min():.2f}"],
+    ]
+    print()
+    print(
+        format_table(
+            ["state", "mean best critical GHz", "min over chips"],
+            rows,
+            title="Critical-thread frequency the chip can still offer "
+            "(50 % dark, DVFS-quantized)",
+        )
+    )
+
+    # Hayat must retain (almost all of) the fresh critical frequency,
+    # and beat VAA on every chip on average.
+    assert offers["hayat"].mean() > offers["vaa"].mean()
+    retained = offers["hayat"].mean() / fresh.mean()
+    assert retained > 0.9, f"Hayat retains only {100 * retained:.0f} % critical capacity"

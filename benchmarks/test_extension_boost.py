@@ -1,0 +1,75 @@
+"""Extension bench: turbo boost under management vs blind.
+
+Section I names Turbo-Boost-style performance boosting as an aging
+aggravator.  This bench quantifies the trade on both managers: boosting
+buys throughput everywhere, but Hayat's thermally-governed boost pays
+far less aging for it than VAA's blind max-throughput turbo.
+"""
+
+import numpy as np
+
+from repro import (
+    ChipContext,
+    HayatManager,
+    LifetimeSimulator,
+    SimulationConfig,
+    VAAManager,
+    generate_population,
+)
+from repro.aging.tables import default_aging_table
+from repro.analysis import format_table
+
+NUM_CHIPS = 3
+
+
+def _run_all():
+    table = default_aging_table()
+    population = generate_population(NUM_CHIPS, seed=42)
+    cfg = SimulationConfig(
+        lifetime_years=5.0, dark_fraction_min=0.5, window_s=10.0, seed=1
+    )
+    policies = {
+        "vaa": VAAManager(),
+        "vaa+boost": VAAManager(boost=True),
+        "hayat": HayatManager(),
+        "hayat+boost": HayatManager(boost=True),
+    }
+    out = {}
+    for label, policy in policies.items():
+        runs = []
+        for chip in population:
+            ctx = ChipContext(chip, table, dark_fraction_min=0.5)
+            runs.append(LifetimeSimulator(cfg).run(ctx, policy))
+        out[label] = runs
+    return out
+
+
+def test_extension_boost(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    stats = {}
+    for label, runs in results.items():
+        ips = np.mean([np.mean([e.total_ips for e in r.epochs]) for r in runs])
+        aging = np.mean([r.avg_fmax_aging_rate() for r in runs])
+        events = np.mean([r.total_dtm_events() for r in runs])
+        stats[label] = (ips, aging, events)
+        rows.append(
+            [label, f"{ips / 1e9:.0f} GIPS", f"{aging:.4f}", f"{events:.0f}"]
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "throughput", "avg-fmax aging (5 y)", "DTM events"],
+            rows,
+            title="Turbo boost: governed (Hayat) vs blind (VAA), 50 % dark",
+        )
+    )
+
+    # Boost buys throughput on both sides.
+    assert stats["hayat+boost"][0] > stats["hayat"][0]
+    assert stats["vaa+boost"][0] > stats["vaa"][0]
+    # The governed boost ages less than the blind one.
+    assert stats["hayat+boost"][1] < stats["vaa+boost"][1]
+    # And triggers fewer thermal emergencies.
+    assert stats["hayat+boost"][2] <= stats["vaa+boost"][2]

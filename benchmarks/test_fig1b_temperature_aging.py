@@ -1,0 +1,63 @@
+"""Fig. 1(b): temperature-dependent delay increase over 10 aging years.
+
+The paper shows a LEON3-class core's delay growing over 10 years at
+25 / 75 / 100 / 140 C, from ~1.05x to ~1.4x.  This bench regenerates the
+four curves from the calibrated Eq. 7 + Eq. 8 stack and checks the bands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aging import CoreAgingEstimator
+from repro.analysis import format_table
+
+TEMPS_C = [25.0, 75.0, 100.0, 140.0]
+YEARS = np.arange(0.0, 10.5, 1.0)
+
+#: Expected 10-year delay factors, paper's Fig. 1(b) bands.
+PAPER_BANDS = {25.0: (1.03, 1.12), 75.0: (1.12, 1.22), 100.0: (1.20, 1.30), 140.0: (1.33, 1.48)}
+
+
+def _curves(estimator: CoreAgingEstimator) -> dict[float, np.ndarray]:
+    return {
+        temp_c: np.array(
+            [
+                estimator.delay_increase_factor(temp_c + 273.15, 1.0, y)
+                for y in YEARS
+            ]
+        )
+        for temp_c in TEMPS_C
+    }
+
+
+def test_fig1b_delay_increase(benchmark):
+    estimator = CoreAgingEstimator()
+    curves = benchmark(_curves, estimator)
+
+    rows = []
+    for temp_c in TEMPS_C:
+        series = curves[temp_c]
+        rows.append(
+            [f"{temp_c:.0f} C"] + [f"{v:.3f}" for v in series[[1, 3, 5, 7, 10]]]
+        )
+    print()
+    print(
+        format_table(
+            ["temperature", "yr 1", "yr 3", "yr 5", "yr 7", "yr 10"],
+            rows,
+            title="Fig. 1(b): delay increase factor vs aging year (duty = 1.0)",
+        )
+    )
+
+    # Shape checks: monotone in years, ordered by temperature, paper bands.
+    for temp_c in TEMPS_C:
+        series = curves[temp_c]
+        assert series[0] == pytest.approx(1.0)
+        assert (np.diff(series) > 0).all()
+    for low_t, high_t in zip(TEMPS_C, TEMPS_C[1:]):
+        assert (curves[high_t][1:] > curves[low_t][1:]).all()
+    for temp_c, (low, high) in PAPER_BANDS.items():
+        assert low < curves[temp_c][-1] < high, (
+            f"{temp_c} C @ 10 yr = {curves[temp_c][-1]:.3f}, "
+            f"outside paper band ({low}, {high})"
+        )

@@ -1,0 +1,42 @@
+"""Fig. 7: DTM migration events, Hayat normalized to VAA.
+
+Paper: Hayat reduces DTM events by ~10 % at a minimum of 25 % dark
+silicon and by ~72 % at 50 % (more thermal headroom from the optimized
+DCM).  Shape to hold: Hayat <= VAA at both levels, with a much larger
+reduction at 50 % than at 25 %.
+"""
+
+import numpy as np
+
+from repro.analysis import distribution_summary, format_table
+
+
+def _report(campaign, label):
+    ratios = campaign.normalized_dtm_events("vaa", "hayat")
+    summary = distribution_summary(ratios)
+    return ratios, summary
+
+
+def test_fig7_dtm_events(campaign25, campaign50, benchmark):
+    (r25, s25) = benchmark(_report, campaign25, "25%")
+    (r50, s50) = _report(campaign50, "50%")
+
+    print()
+    print(
+        format_table(
+            ["dark floor", "mean", "std", "min", "median", "max", "chips"],
+            [
+                ["25 %", f"{s25.mean:.3f}", f"{s25.std:.3f}", f"{s25.minimum:.3f}", f"{s25.median:.3f}", f"{s25.maximum:.3f}", s25.count],
+                ["50 %", f"{s50.mean:.3f}", f"{s50.std:.3f}", f"{s50.minimum:.3f}", f"{s50.median:.3f}", f"{s50.maximum:.3f}", s50.count],
+            ],
+            title="Fig. 7: Hayat DTM events normalized to VAA (1.0 = parity)",
+        )
+    )
+    print(f"paper: 0.90 at 25% dark, 0.28 at 50% dark")
+
+    # Hayat never does worse than VAA on average.
+    assert s25.mean < 1.0
+    assert s50.mean < 1.0
+    # The reduction is much stronger at 50 % dark silicon.
+    assert s50.mean < s25.mean
+    assert s50.mean < 0.6, "expect a large (paper: ~72 %) reduction at 50 % dark"

@@ -1,0 +1,41 @@
+"""Fig. 8: average temperature over ambient, Hayat normalized to VAA.
+
+Paper: ~no change at a 25 % dark floor, ~5 % reduction at 50 % (more
+spatial headroom for the optimized DCM).  Shape to hold: Hayat's mean
+temperature rise never exceeds VAA's and improves more at 50 %.  Our
+reduction exceeds the paper's because the DCM greedy weighs each core's
+*leakage-dependent* thermal footprint (the paper's Hayat also claims
+frequency/leakage-variation awareness; our variation model has a wide
+leakage spread, so keeping leaky cores dark pays more here).
+"""
+
+from repro.analysis import distribution_summary, format_table
+
+
+def _ratios(campaign):
+    return campaign.normalized_temp_rise("vaa", "hayat")
+
+
+def test_fig8_avg_temperature(campaign25, campaign50, benchmark):
+    r25 = benchmark(_ratios, campaign25)
+    r50 = _ratios(campaign50)
+    s25 = distribution_summary(r25)
+    s50 = distribution_summary(r50)
+
+    print()
+    print(
+        format_table(
+            ["dark floor", "mean", "std", "min", "median", "max"],
+            [
+                ["25 %", f"{s25.mean:.3f}", f"{s25.std:.3f}", f"{s25.minimum:.3f}", f"{s25.median:.3f}", f"{s25.maximum:.3f}"],
+                ["50 %", f"{s50.mean:.3f}", f"{s50.std:.3f}", f"{s50.minimum:.3f}", f"{s50.median:.3f}", f"{s50.maximum:.3f}"],
+            ],
+            title="Fig. 8: Hayat temperature-over-ambient normalized to VAA",
+        )
+    )
+    print("paper: ~1.00 at 25% dark, ~0.95 at 50% dark")
+
+    assert s25.mean <= 1.02, "Hayat must not run meaningfully hotter at 25 %"
+    assert s50.mean <= 1.0, "Hayat must not run hotter at 50 %"
+    assert s50.mean <= s25.mean + 0.05, "more dark silicon helps at least as much"
+    assert s50.mean > 0.5, "a >2x average-temperature gap would indicate a bug"

@@ -1,0 +1,50 @@
+"""Fig. 9: aging rate of the per-chip maximum frequency, Hayat vs VAA.
+
+Paper: Hayat preserves the chip's fastest cores (dark, unstressed) for
+late-lifetime years and critical single-threaded work — the aging rate
+of the maximum available frequency is ~95 % lower at a 50 % dark floor.
+Shape to hold: a drastic reduction at 50 %, a clear reduction at 25 %.
+"""
+
+import numpy as np
+
+from repro.analysis import distribution_summary, format_table
+
+
+def _rates(campaign):
+    vaa = np.array([r.chip_fmax_aging_rate() for r in campaign.results["vaa"]])
+    hayat = np.array([r.chip_fmax_aging_rate() for r in campaign.results["hayat"]])
+    return vaa, hayat
+
+
+def test_fig9_chip_fmax_aging(campaign25, campaign50, benchmark):
+    vaa25, hayat25 = benchmark(_rates, campaign25)
+    vaa50, hayat50 = _rates(campaign50)
+
+    print()
+    rows = []
+    for label, vaa, hayat in [("25 %", vaa25, hayat25), ("50 %", vaa50, hayat50)]:
+        reduction = 1.0 - hayat.mean() / vaa.mean() if vaa.mean() > 0 else 0.0
+        rows.append(
+            [
+                label,
+                f"{vaa.mean():.4f}",
+                f"{hayat.mean():.4f}",
+                f"{100 * reduction:.1f} %",
+            ]
+        )
+    print(
+        format_table(
+            ["dark floor", "VAA rate", "Hayat rate", "reduction"],
+            rows,
+            title="Fig. 9: 10-year aging rate of per-chip max frequency",
+        )
+    )
+    print("paper: ~95 % reduction at 50 % dark")
+
+    assert hayat50.mean() < 0.4 * vaa50.mean(), (
+        "Hayat must drastically out-preserve VAA's fastest cores at 50 % "
+        "(the paper reports ~95 %; we hold a >60 % reduction — slow chips "
+        "whose stiff threads *need* the fast cores bound the achievable gap)"
+    )
+    assert hayat25.mean() < vaa25.mean()

@@ -1,0 +1,86 @@
+"""Section VI overhead: the cost of the online estimation primitives.
+
+The paper quotes ~25 us for ``predictTemperature``, ~10 us for
+``estimateNextHealth``, and a worst case of ~1.6 ms for a full mapping
+decision when a new application arrives.  Our primitives are vectorized
+numpy (and score *all* cores of a candidate at once), so the comparable
+budget is per-candidate cost; the assertions only require the paper's
+order of magnitude — this is a run-time technique, and an implementation
+whose decision step took seconds would not be one.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HayatManager,
+    OnlineHealthEstimator,
+    PowerModel,
+    ThermalPredictor,
+    ThermalRCNetwork,
+    generate_population,
+    make_mix,
+)
+from repro.aging.tables import default_aging_table
+from repro.sim import ChipContext
+
+
+@pytest.fixture(scope="module")
+def setup():
+    population = generate_population(1, seed=42)
+    chip = population[0]
+    table = default_aging_table()
+    net = ThermalRCNetwork(population.floorplan)
+    pm = PowerModel.for_chip(chip)
+    predictor = ThermalPredictor.learn(net, pm)
+    estimator = OnlineHealthEstimator(predictor, table)
+    return population, chip, table, estimator
+
+
+def test_predict_temperature_overhead(setup, benchmark):
+    """One all-cores temperature prediction (paper: ~25 us/candidate)."""
+    _, chip, _, estimator = setup
+    n = chip.num_cores
+    on = np.zeros(n, dtype=bool)
+    on[::2] = True
+    freq = np.where(on, 2.8, 0.0)
+    act = np.where(on, 0.6, 0.0)
+    warm = np.full(n, 350.0)
+
+    result = benchmark(estimator.predict_temperature, freq, act, on, warm)
+    assert result.shape == (n,)
+    mean_us = benchmark.stats["mean"] * 1e6
+    assert mean_us < 2000, f"predictTemperature took {mean_us:.0f} us"
+
+
+def test_estimate_next_health_overhead(setup, benchmark):
+    """One all-cores health-table walk (paper: ~10 us/candidate)."""
+    _, chip, _, estimator = setup
+    n = chip.num_cores
+    temps = np.full(n, 360.0)
+    duties = np.full(n, 0.6)
+    health = np.full(n, 0.97)
+
+    result = benchmark(estimator.estimate_next_health, temps, duties, health, 0.5)
+    assert result.shape == (n,)
+    mean_us = benchmark.stats["mean"] * 1e6
+    assert mean_us < 2000, f"estimateNextHealth took {mean_us:.0f} us"
+
+
+def test_full_mapping_decision_overhead(setup, benchmark):
+    """A complete Algorithm 1 epoch decision (paper worst case ~1.6 ms
+    per newly-arriving application; a full 32-thread epoch re-map may
+    cost proportionally more)."""
+    population, chip, table, _ = setup
+
+    mix = make_mix(["bodytrack", "x264"], 32, np.random.default_rng(3))
+    manager = HayatManager()
+
+    def decide():
+        ctx = ChipContext(chip, table, dark_fraction_min=0.5)
+        return manager.prepare_epoch(ctx, mix, 0.5)
+
+    state = benchmark.pedantic(decide, rounds=3, iterations=1)
+    assert (state.assignment >= 0).sum() == 32
+    mean_ms = benchmark.stats["mean"] * 1e3
+    assert mean_ms < 2000, f"full decision took {mean_ms:.0f} ms"

@@ -1,0 +1,78 @@
+"""Performance benches of the simulation engine itself.
+
+Not a paper figure — these track the cost of the hot paths so
+regressions in throughput (e.g. an accidental per-step allocation, a
+de-vectorized table walk) are caught by the harness that exercises them
+hardest.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChipContext,
+    HayatManager,
+    LifetimeSimulator,
+    PowerModel,
+    SimulationConfig,
+    ThermalRCNetwork,
+    TransientIntegrator,
+    generate_population,
+)
+from repro.aging.tables import default_aging_table
+
+
+@pytest.fixture(scope="module")
+def chip_and_table():
+    population = generate_population(1, seed=42)
+    return population[0], default_aging_table()
+
+
+def test_perf_one_epoch(chip_and_table, benchmark):
+    """One full aging epoch (decision + settle + window + upscale)."""
+    chip, table = chip_and_table
+    cfg = SimulationConfig(
+        lifetime_years=0.5, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=10.0, seed=2,
+    )
+
+    def one_epoch():
+        ctx = ChipContext(chip, table, dark_fraction_min=0.5)
+        return LifetimeSimulator(cfg).run(ctx, HayatManager())
+
+    result = benchmark.pedantic(one_epoch, rounds=3, iterations=1)
+    assert len(result.epochs) == 1
+    # An epoch must stay well under a second for campaigns to be usable.
+    assert benchmark.stats["mean"] < 2.0
+
+
+def test_perf_transient_step(chip_and_table, benchmark):
+    """One backward-Euler step of the 129-node network."""
+    chip, _ = chip_and_table
+    net = ThermalRCNetwork(chip.floorplan)
+    integ = TransientIntegrator(net, dt_s=1.0)
+    temps = net.initial_temperatures()
+    power = np.full(64, 3.0)
+
+    out = benchmark(integ.step, temps, power)
+    assert out.shape == (129,)
+    assert benchmark.stats["mean"] < 1e-3
+
+
+def test_perf_coupled_steady_state(chip_and_table, benchmark):
+    """One leakage-coupled steady-state solve (the settle-phase unit)."""
+    from repro import solve_coupled_steady_state
+
+    chip, _ = chip_and_table
+    net = ThermalRCNetwork(chip.floorplan)
+    pm = PowerModel.for_chip(chip)
+    on = np.zeros(64, dtype=bool)
+    on[::2] = True
+    freq = np.where(on, 2.8, 0.0)
+    act = np.where(on, 0.6, 0.0)
+
+    temps, _ = benchmark(
+        solve_coupled_steady_state, net, pm, freq, act, on
+    )
+    assert temps.shape == (64,)
+    assert benchmark.stats["mean"] < 0.1

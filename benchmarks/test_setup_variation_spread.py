@@ -1,0 +1,38 @@
+"""Section V setup claim: 30-35 % frequency variation at 1.13 V, 3-4 GHz.
+
+Verifies the variation model's calibration against the numbers the
+paper quotes for its own variation maps, and benchmarks the cost of
+manufacturing a 25-chip population.
+"""
+
+import numpy as np
+
+from repro import generate_population
+from repro.analysis import format_table
+
+
+def test_variation_spread_calibration(benchmark):
+    population = benchmark.pedantic(
+        generate_population, args=(25,), kwargs={"seed": 42}, rounds=1, iterations=1
+    )
+    spreads = population.frequency_spreads()
+    fmax = population.fmax_matrix_ghz()
+
+    print()
+    print(
+        format_table(
+            ["quantity", "value", "paper"],
+            [
+                ["mean per-chip spread", f"{100 * spreads.mean():.1f} %", "30-35 %"],
+                ["min per-chip spread", f"{100 * spreads.min():.1f} %", ""],
+                ["max per-chip spread", f"{100 * spreads.max():.1f} %", ""],
+                ["population fmax band", f"{fmax.min():.2f}-{fmax.max():.2f} GHz", "~3-4 GHz"],
+                ["Vdd", f"{population.params.vdd:.2f} V", "1.13 V"],
+            ],
+            title="Section V: process-variation calibration",
+        )
+    )
+
+    assert 0.28 <= spreads.mean() <= 0.37
+    assert 2.0 < fmax.min() and fmax.max() < 4.6
+    assert population.params.vdd == 1.13

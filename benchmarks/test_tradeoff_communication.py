@@ -1,0 +1,81 @@
+"""Extension bench: the contiguity-vs-spreading trade-off, both sides.
+
+Fattah-style mapping (VAA's ancestor) optimizes communication locality;
+Hayat optimizes thermals and aging.  With the NoC model in the loop the
+trade becomes measurable: VAA should win on weighted hops, Hayat on
+every aging metric — and the NoC power delta should be small against
+the core power it saves in leakage/throttling.
+"""
+
+import numpy as np
+
+from repro import (
+    ChipContext,
+    HayatManager,
+    LifetimeSimulator,
+    SimulationConfig,
+    VAAManager,
+    generate_population,
+)
+from repro.aging.tables import default_aging_table
+from repro.analysis import format_table
+from repro.noc.metrics import ENERGY_MJ_PER_GB_HOP
+
+NUM_CHIPS = 3
+
+
+def _run_all():
+    table = default_aging_table()
+    population = generate_population(NUM_CHIPS, seed=42)
+    cfg = SimulationConfig(dark_fraction_min=0.5, window_s=10.0, seed=1)
+    out = {}
+    for policy in (VAAManager(), HayatManager()):
+        runs = []
+        for chip in population:
+            ctx = ChipContext(chip, table, dark_fraction_min=0.5)
+            runs.append(LifetimeSimulator(cfg).run(ctx, policy))
+        out[policy.name] = runs
+    return out
+
+
+def test_tradeoff_communication(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    stats = {}
+    for name, runs in results.items():
+        comm = np.mean([r.mean_comm_cost() for r in runs])
+        noc_power = comm * ENERGY_MJ_PER_GB_HOP * 1e-3
+        aging = np.mean([r.avg_fmax_aging_rate() for r in runs])
+        events = np.mean([r.total_dtm_events() for r in runs])
+        stats[name] = (comm, noc_power, aging, events)
+        rows.append(
+            [
+                name,
+                f"{comm:.1f}",
+                f"{noc_power:.2f}",
+                f"{aging:.4f}",
+                f"{events:.0f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "policy",
+                "comm cost (GB/s-hops)",
+                "NoC power (W)",
+                "avg-fmax aging",
+                "DTM events",
+            ],
+            rows,
+            title="Trade-off: communication locality vs aging (50 % dark)",
+        )
+    )
+
+    # The trade-off has the expected sign on both sides.
+    assert stats["vaa"][0] < stats["hayat"][0], "VAA must win on locality"
+    assert stats["hayat"][2] < stats["vaa"][2], "Hayat must win on aging"
+    # And Hayat's NoC power penalty stays small in absolute terms
+    # against a >100 W chip.
+    assert stats["hayat"][1] - stats["vaa"][1] < 10.0

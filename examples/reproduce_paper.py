@@ -1,0 +1,139 @@
+"""Reproduce every paper figure in one run, without pytest.
+
+Runs the same computations as ``benchmarks/`` and prints the figures'
+tables in order.  Scale with ``REPRO_CHIPS`` (default 6; the paper uses
+25, which takes a few minutes).
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import (
+    HayatManager,
+    SimulationConfig,
+    VAAManager,
+    generate_population,
+    run_campaign,
+)
+from repro.aging import CoreAgingEstimator
+from repro.aging.tables import default_aging_table
+from repro.analysis import (
+    distribution_summary,
+    format_table,
+    lifetime_gain_years,
+)
+
+NUM_CHIPS = int(os.environ.get("REPRO_CHIPS", "6"))
+
+
+def figure_1b() -> None:
+    estimator = CoreAgingEstimator()
+    rows = []
+    for temp_c in (25.0, 75.0, 100.0, 140.0):
+        factors = [
+            estimator.delay_increase_factor(temp_c + 273.15, 1.0, y)
+            for y in (1.0, 5.0, 10.0)
+        ]
+        rows.append([f"{temp_c:.0f} C"] + [f"{f:.3f}" for f in factors])
+    print(
+        format_table(
+            ["temperature", "yr 1", "yr 5", "yr 10"],
+            rows,
+            title="Fig. 1(b): delay increase factor (duty = 1.0)",
+        )
+    )
+
+
+def campaigns():
+    population = generate_population(NUM_CHIPS, seed=42)
+    table = default_aging_table()
+    out = {}
+    for dark in (0.25, 0.5):
+        config = SimulationConfig(
+            lifetime_years=10.0, dark_fraction_min=dark, window_s=10.0, seed=1
+        )
+        print(f"  running campaign at {100 * dark:.0f} % dark "
+              f"({NUM_CHIPS} chips x 2 policies x 10 years)...")
+        out[dark] = run_campaign(
+            [VAAManager(), HayatManager()],
+            config=config,
+            population=population,
+            table=table,
+        )
+    return out
+
+
+def figures_7_to_10(results) -> None:
+    rows = []
+    for dark, campaign in sorted(results.items()):
+        dtm = campaign.normalized_dtm_events("vaa", "hayat")
+        temp = campaign.normalized_temp_rise("vaa", "hayat")
+        avg_aging = campaign.normalized_avg_fmax_aging("vaa", "hayat")
+        chip_aging = campaign.normalized_chip_fmax_aging("vaa", "hayat")
+        rows.append(
+            [
+                f"{100 * dark:.0f} %",
+                f"{dtm.mean():.2f}" if dtm.size else "n/a",
+                f"{temp.mean():.2f}",
+                f"{chip_aging.mean():.2f}" if chip_aging.size else "n/a",
+                f"{avg_aging.mean():.2f}" if avg_aging.size else "n/a",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "dark floor",
+                "Fig.7 DTM",
+                "Fig.8 temp",
+                "Fig.9 chip-fmax aging",
+                "Fig.10 avg-fmax aging",
+            ],
+            rows,
+            title="Figs. 7-10: Hayat normalized to VAA (1.0 = parity; "
+            "paper: 0.90/1.00/-/0.94 at 25 %, 0.28/0.95/0.05/0.77 at 50 %)",
+        )
+    )
+
+
+def figure_11(results) -> None:
+    campaign = results[0.5]
+    years = np.concatenate([[0.0], campaign.results["vaa"][0].years()])
+    start = np.mean([r.fmax_init_ghz.mean() for r in campaign.results["vaa"]])
+    traj = {
+        name: np.concatenate([[start], campaign.mean_avg_fmax_trajectory(name)])
+        for name in campaign.policies()
+    }
+    rows = []
+    for target in (3.0, 5.0, 8.0):
+        gain = lifetime_gain_years(years, traj["vaa"], traj["hayat"], target)
+        rows.append([f"{target:.0f} years", f">= {12 * gain:.0f} months"])
+    print()
+    print(
+        format_table(
+            ["required lifetime", "Hayat lifetime gain (span-clipped)"],
+            rows,
+            title="Fig. 11: lifetime gains at 50 % dark "
+            "(paper: 3 months at 3 yr, 2x at 10 yr)",
+        )
+    )
+
+
+def main() -> None:
+    print("=" * 70)
+    figure_1b()
+    print()
+    print("Building campaigns (this is the long part)...")
+    results = campaigns()
+    figures_7_to_10(results)
+    figure_11(results)
+    print()
+    print("Full per-figure benches with assertions: "
+          "pytest benchmarks/ --benchmark-only")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Core-level aging estimation over synthesized critical paths (Eq. 8).
+
+For a core operating at temperature ``T`` with core-level duty cycle
+``d_core`` for ``y`` years, each logic element ``le`` on each critical
+path ages by ``dVth(T, y, d_le * d_core)`` — the element's own signal-
+probability stress duty scaled by how much of the time the core is doing
+work at all (the paper: "the core-level duty cycle is multiplied with the
+worst- or average-case duty cycle of a typical application mix").
+
+The aged maximum frequency is set by the slowest aged path; *health* is
+that frequency normalized to its un-aged value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.delay import DEFAULT_ALPHA, alpha_power_delay_factor
+from repro.circuit.synth import SynthesizedCore, synthesize_core
+from repro.aging.nbti import NBTIModel
+
+
+class CoreAgingEstimator:
+    """Maps (temperature, core duty, age) to relative fmax for one design.
+
+    Parameters
+    ----------
+    core:
+        The synthesized design (netlist + critical paths).  All cores of
+        a homogeneous chip share it.
+    nbti:
+        The device-level ΔVth model.
+    vth_nominal, alpha:
+        Alpha-power-law parameters for delay degradation.
+    """
+
+    def __init__(
+        self,
+        core: SynthesizedCore | None = None,
+        nbti: NBTIModel | None = None,
+        vth_nominal: float = 0.32,
+        alpha: float = DEFAULT_ALPHA,
+    ):
+        self.core = core if core is not None else synthesize_core()
+        self.nbti = nbti if nbti is not None else NBTIModel()
+        self.vth_nominal = vth_nominal
+        self.alpha = alpha
+        # Pre-pack per-path element data as arrays for vectorized reuse.
+        self._path_delays = [
+            np.array(p.element_delays_ps) for p in self.core.critical_paths
+        ]
+        self._path_duties = [
+            np.array(p.element_duties) for p in self.core.critical_paths
+        ]
+        self._unaged_critical_ps = self.core.unaged_critical_delay_ps
+
+    def aged_critical_delay_ps(self, temp_k: float, core_duty: float, years: float) -> float:
+        """Slowest aged path delay after ``years`` at (T, d_core)."""
+        worst = 0.0
+        for delays, duties in zip(self._path_delays, self._path_duties):
+            shifts = self.nbti.delta_vth(temp_k, years, duties * core_duty)
+            factors = alpha_power_delay_factor(
+                shifts, self.nbti.vdd, self.vth_nominal, self.alpha
+            )
+            worst = max(worst, float(np.sum(delays * factors)))
+        return worst
+
+    def relative_fmax(self, temp_k: float, core_duty: float, years: float) -> float:
+        """Health after ``years``: ``fmax(y) / fmax(0)`` in (0, 1].
+
+        Equals ``D_crit(0) / D_crit(y)`` since fmax is the reciprocal of
+        the critical delay.
+        """
+        if years == 0.0:
+            return 1.0
+        return self._unaged_critical_ps / self.aged_critical_delay_ps(
+            temp_k, core_duty, years
+        )
+
+    def delay_increase_factor(self, temp_k: float, core_duty: float, years: float) -> float:
+        """Delay growth ``D_crit(y) / D_crit(0)`` — the Fig. 1(b) quantity."""
+        return self.aged_critical_delay_ps(temp_k, core_duty, years) / (
+            self._unaged_critical_ps
+        )

@@ -1,0 +1,43 @@
+"""Aging (delay) sensor front-end.
+
+Each core carries an aging sensor ``D_i`` — a silicon odometer / in-situ
+delay monitor in the paper's references [9, 10] — through which the
+management layer observes health.  Real monitors quantize: they compare
+the critical path against a tapped delay line, so health is reported in
+discrete steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+class AgingSensor:
+    """Quantizing reader of per-core health.
+
+    Parameters
+    ----------
+    resolution:
+        Health quantization step (fraction of initial fmax).  0.005
+        corresponds to a ~200-tap delay line, on par with published
+        odometer designs.
+    """
+
+    def __init__(self, resolution: float = 0.005):
+        self.resolution = check_positive("resolution", resolution)
+        if self.resolution >= 1.0:
+            raise ValueError("resolution must be below 1.0")
+
+    def read(self, true_health: np.ndarray) -> np.ndarray:
+        """Quantized health readings, never reporting above 1.0.
+
+        Rounds *down*: a delay-line monitor reports the last tap the
+        signal cleanly passed, so measured health is conservative.
+        """
+        health = np.asarray(true_health, dtype=float)
+        if (health <= 0).any() or (health > 1.0 + 1e-12).any():
+            raise ValueError("true health must lie in (0, 1]")
+        quantized = np.floor(health / self.resolution) * self.resolution
+        return np.clip(quantized, self.resolution, 1.0)

@@ -1,0 +1,162 @@
+"""Short-term NBTI: stress/recovery dynamics (the paper's Fig. 1(a)).
+
+Eq. 7 is the *long-term envelope*: the `y^(1/6)` trend that remains
+after partial recovery.  Underneath it, the threshold shift breathes on
+short timescales — it grows while the device is stressed
+(``Vgs = -Vdd``) and partially relaxes when the stress is released.
+This module models that breathing with the standard reaction-diffusion
+two-component decomposition:
+
+* a **permanent** component that follows the long-term envelope of the
+  accumulated *stress time* (never recovers), and
+* a **recoverable** component that charges toward a stress-dependent
+  ceiling while stressed and discharges exponentially while relaxed.
+
+The model reproduces the textbook saw-tooth of Fig. 1(a): fast rise
+under stress, partial decay in recovery, with the floor ratcheting
+upward along the long-term envelope.  It is an *extension* — the run-
+time manager consumes only the long-term tables — but it grounds the
+epoch abstraction: within an epoch the saw-tooth averages out, and the
+duty cycle ``d`` in Eq. 7 is exactly the fraction of time spent in the
+stress phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aging.nbti import NBTIModel
+from repro.util.constants import SECONDS_PER_YEAR
+from repro.util.validation import check_fraction, check_positive
+
+
+@dataclass
+class StressRecoveryTrace:
+    """A simulated short-term trace: times and Vth shift components."""
+
+    times_s: np.ndarray
+    total_shift_v: np.ndarray
+    permanent_shift_v: np.ndarray
+    recoverable_shift_v: np.ndarray
+    stressed: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+
+class ShortTermNBTI:
+    """Stress/recovery simulator for one device.
+
+    Parameters
+    ----------
+    nbti:
+        The long-term model providing the permanent envelope.
+    temp_k:
+        Junction temperature (constant over the simulated trace; traces
+        are short against thermal time constants).
+    recoverable_fraction:
+        Share of the instantaneous shift that is recoverable.  The
+        literature puts the fast-recoverable component around 30-60 % of
+        the total at these timescales.
+    recovery_time_s:
+        Exponential time constant of the recovery phase.
+    """
+
+    def __init__(
+        self,
+        nbti: NBTIModel | None = None,
+        temp_k: float = 358.0,
+        recoverable_fraction: float = 0.4,
+        recovery_time_s: float = 100.0,
+    ):
+        self.nbti = nbti if nbti is not None else NBTIModel()
+        self.temp_k = check_positive("temp_k", temp_k)
+        self.recoverable_fraction = check_fraction(
+            "recoverable_fraction", recoverable_fraction, inclusive=False
+        )
+        self.recovery_time_s = check_positive("recovery_time_s", recovery_time_s)
+
+    def _permanent_envelope(self, stress_seconds: float) -> float:
+        """Permanent shift after ``stress_seconds`` of continuous stress."""
+        years = stress_seconds / SECONDS_PER_YEAR
+        full = self.nbti.delta_vth(self.temp_k, years, 1.0)
+        return (1.0 - self.recoverable_fraction) * float(full)
+
+    def _recoverable_ceiling(self, stress_seconds: float) -> float:
+        """Ceiling the recoverable component charges toward."""
+        years = max(stress_seconds, 1.0) / SECONDS_PER_YEAR
+        full = self.nbti.delta_vth(self.temp_k, years, 1.0)
+        return self.recoverable_fraction * float(full)
+
+    def simulate(
+        self,
+        stress_pattern: np.ndarray,
+        dt_s: float,
+    ) -> StressRecoveryTrace:
+        """Integrate a boolean stress pattern with step ``dt_s``.
+
+        ``stress_pattern[i]`` is True when the device is under NBTI
+        stress during step ``i``.
+        """
+        stress_pattern = np.asarray(stress_pattern, dtype=bool)
+        check_positive("dt_s", dt_s)
+        steps = len(stress_pattern)
+        if steps == 0:
+            raise ValueError("stress_pattern must not be empty")
+
+        times = np.arange(1, steps + 1) * dt_s
+        permanent = np.empty(steps)
+        recoverable = np.empty(steps)
+        stress_time = 0.0
+        r = 0.0
+        charge_tau = self.recovery_time_s  # symmetric charge/discharge pace
+        for i, stressed in enumerate(stress_pattern):
+            if stressed:
+                stress_time += dt_s
+                ceiling = self._recoverable_ceiling(stress_time)
+                r = ceiling + (r - ceiling) * np.exp(-dt_s / charge_tau)
+            else:
+                r = r * np.exp(-dt_s / self.recovery_time_s)
+            permanent[i] = self._permanent_envelope(stress_time)
+            recoverable[i] = r
+        return StressRecoveryTrace(
+            times_s=times,
+            total_shift_v=permanent + recoverable,
+            permanent_shift_v=permanent,
+            recoverable_shift_v=recoverable,
+            stressed=stress_pattern.copy(),
+        )
+
+    def duty_cycle_equivalence(
+        self, duty: float, period_s: float, cycles: int
+    ) -> tuple[float, float]:
+        """Compare a square-wave stress pattern against Eq. 7's duty model.
+
+        Simulates ``cycles`` periods of a ``duty``-fraction square wave
+        and returns ``(simulated_total_shift, eq7_shift)`` at the end —
+        the two agree within the recoverable ripple, which is the
+        justification for folding fine-grained behaviour into the duty
+        cycle ``d``.
+        """
+        check_fraction("duty", duty)
+        check_positive("period_s", period_s)
+        if cycles < 1:
+            raise ValueError("cycles must be >= 1")
+        steps_per_period = 100
+        dt = period_s / steps_per_period
+        on_steps = int(round(duty * steps_per_period))
+        pattern = np.tile(
+            np.concatenate(
+                [
+                    np.ones(on_steps, dtype=bool),
+                    np.zeros(steps_per_period - on_steps, dtype=bool),
+                ]
+            ),
+            cycles,
+        )
+        trace = self.simulate(pattern, dt)
+        total_years = cycles * period_s / SECONDS_PER_YEAR
+        eq7 = float(self.nbti.delta_vth(self.temp_k, total_years, duty))
+        return float(trace.total_shift_v[-1]), eq7

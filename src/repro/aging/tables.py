@@ -1,0 +1,236 @@
+"""Offline-generated 3D aging tables and their run-time lookups.
+
+The paper avoids online aging simulation by precomputing, per design,
+a table of frequency-degradation factors over (temperature, duty cycle,
+age) and, at run time, (a) locating each core's current position in the
+table from its monitored health and (b) following a new path along the
+age axis under the predicted temperature/duty of the next epoch.
+
+Two lookups are provided, both vectorized over cores/candidates:
+
+* :meth:`AgingTable.health` — trilinear interpolation of
+  ``health = fmax(y)/fmax(0)`` at (T, d, y);
+* :meth:`AgingTable.equivalent_age` — the inverse along the age axis:
+  given (T, d) and a measured health, the age that stress history is
+  equivalent to.
+
+The age axis is geometric: the ``y^(1/6)`` reaction-diffusion envelope
+is steep near zero, and equivalent ages can far exceed calendar age when
+a core that aged hot is re-evaluated at a cooler temperature (the
+stress-rate ratio enters to the 6th power).  Ages beyond the table clamp
+to its edge, which slightly *over*-estimates further aging — the safe
+direction for a management layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.aging.estimator import CoreAgingEstimator
+
+
+def _default_temp_grid() -> np.ndarray:
+    return np.arange(290.0, 431.0, 10.0)
+
+
+def _default_duty_grid() -> np.ndarray:
+    # Geometric below 1.0: the d^(1/6) dependence of Eq. 7 is steep near
+    # zero duty, where linear spacing interpolates poorly.
+    return np.concatenate([[0.0], np.geomspace(0.02, 1.0, 12)])
+
+
+def _default_age_grid() -> np.ndarray:
+    return np.concatenate([[0.0], np.geomspace(0.05, 120.0, 31)])
+
+
+def _axis_weights(grid: np.ndarray, values: np.ndarray):
+    """Locate ``values`` on ``grid``: lower indices and linear weights."""
+    values = np.clip(values, grid[0], grid[-1])
+    idx = np.clip(np.searchsorted(grid, values, side="right") - 1, 0, len(grid) - 2)
+    span = grid[idx + 1] - grid[idx]
+    frac = (values - grid[idx]) / span
+    return idx, frac
+
+
+@dataclass
+class AgingTable:
+    """The 3D table: ``values[i_T, i_d, i_y]`` = relative fmax in (0, 1]."""
+
+    temp_grid_k: np.ndarray
+    duty_grid: np.ndarray
+    age_grid_years: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (
+            len(self.temp_grid_k),
+            len(self.duty_grid),
+            len(self.age_grid_years),
+        )
+        if self.values.shape != expected:
+            raise ValueError(
+                f"table values must have shape {expected}, got {self.values.shape}"
+            )
+        for name, grid in (
+            ("temp_grid_k", self.temp_grid_k),
+            ("duty_grid", self.duty_grid),
+            ("age_grid_years", self.age_grid_years),
+        ):
+            if len(grid) < 2 or (np.diff(grid) <= 0).any():
+                raise ValueError(f"{name} must be strictly increasing, length >= 2")
+        if (self.values <= 0).any() or (self.values > 1.0 + 1e-12).any():
+            raise ValueError("health values must lie in (0, 1]")
+
+    @property
+    def max_age_years(self) -> float:
+        """Upper edge of the age axis."""
+        return float(self.age_grid_years[-1])
+
+    # ------------------------------------------------------------------
+    # forward lookup
+    # ------------------------------------------------------------------
+    def health(self, temp_k, duty, age_years) -> np.ndarray:
+        """Trilinear-interpolated health at (T, d, y); broadcasts."""
+        temp_k, duty, age_years = np.broadcast_arrays(
+            np.asarray(temp_k, dtype=float),
+            np.asarray(duty, dtype=float),
+            np.asarray(age_years, dtype=float),
+        )
+        it, ft = _axis_weights(self.temp_grid_k, temp_k)
+        idx_d, fd = _axis_weights(self.duty_grid, duty)
+        iy, fy = _axis_weights(self.age_grid_years, age_years)
+        out = np.zeros(temp_k.shape)
+        for dt in (0, 1):
+            wt = np.where(dt == 0, 1.0 - ft, ft)
+            for dd in (0, 1):
+                wd = np.where(dd == 0, 1.0 - fd, fd)
+                for dy in (0, 1):
+                    wy = np.where(dy == 0, 1.0 - fy, fy)
+                    out += (
+                        wt * wd * wy * self.values[it + dt, idx_d + dd, iy + dy]
+                    )
+        return out
+
+    # ------------------------------------------------------------------
+    # inverse lookup (the "current position in the 3D table")
+    # ------------------------------------------------------------------
+    def _health_curves(self, temp_k, duty) -> np.ndarray:
+        """Bilinear (T, d) blend of the age-axis curves: ``(batch, n_y)``."""
+        temp_k = np.atleast_1d(np.asarray(temp_k, dtype=float))
+        duty = np.atleast_1d(np.asarray(duty, dtype=float))
+        temp_k, duty = np.broadcast_arrays(temp_k, duty)
+        it, ft = _axis_weights(self.temp_grid_k, temp_k)
+        idx_d, fd = _axis_weights(self.duty_grid, duty)
+        curves = (
+            (1 - ft)[:, None] * (1 - fd)[:, None] * self.values[it, idx_d, :]
+            + (1 - ft)[:, None] * fd[:, None] * self.values[it, idx_d + 1, :]
+            + ft[:, None] * (1 - fd)[:, None] * self.values[it + 1, idx_d, :]
+            + ft[:, None] * fd[:, None] * self.values[it + 1, idx_d + 1, :]
+        )
+        return curves
+
+    def equivalent_age(self, temp_k, duty, health) -> np.ndarray:
+        """Age (years) at which (T, d) stress would reach ``health``.
+
+        Vectorized over the batch.  Health >= the curve's start maps to
+        age 0; health <= the curve's end clamps to the table edge.  A
+        zero-duty curve is flat at 1.0, where any degraded health has no
+        finite equivalent age — the edge clamp applies (such cores will
+        simply not age further, matching the physics of zero stress).
+        """
+        health = np.atleast_1d(np.asarray(health, dtype=float))
+        curves = self._health_curves(temp_k, duty)
+        health_b = np.broadcast_to(health, (curves.shape[0],))
+        # Curves decrease along the age axis.  Count how many grid points
+        # still exceed the target health; that locates the bracketing
+        # segment.
+        count = (curves > health_b[:, None]).sum(axis=1)
+        lo = np.clip(count - 1, 0, curves.shape[1] - 2)
+        rows = np.arange(curves.shape[0])
+        h_lo = curves[rows, lo]
+        h_hi = curves[rows, lo + 1]  # smaller or equal to h_lo
+        span = h_lo - h_hi
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(span > 0, (h_lo - health_b) / span, 0.0)
+        frac = np.clip(frac, 0.0, 1.0)
+        ages = self.age_grid_years[lo] + frac * (
+            self.age_grid_years[lo + 1] - self.age_grid_years[lo]
+        )
+        ages = np.where(count == 0, 0.0, ages)
+        ages = np.where(count == curves.shape[1], self.max_age_years, ages)
+        return ages
+
+    def next_health(self, temp_k, duty, current_health, epoch_years) -> np.ndarray:
+        """One table walk: re-index by health, advance the age axis.
+
+        This is the run-time ``estimateNextHealth`` primitive of
+        Algorithm 1 (line 15): find each core's equivalent position for
+        the *predicted* (T, d) of the next epoch, move ``epoch_years``
+        along the age axis, and read the resulting health.
+        """
+        if epoch_years < 0:
+            raise ValueError("epoch_years must be non-negative")
+        ages = self.equivalent_age(temp_k, duty, current_health)
+        new_health = self.health(temp_k, duty, ages + epoch_years)
+        # Health is monotone non-increasing under additional stress; the
+        # clamp guards interpolation wiggle at segment boundaries.
+        return np.minimum(new_health, np.atleast_1d(current_health))
+
+    def save(self, path: str) -> None:
+        """Persist to an ``.npz`` file."""
+        np.savez(
+            path,
+            temp_grid_k=self.temp_grid_k,
+            duty_grid=self.duty_grid,
+            age_grid_years=self.age_grid_years,
+            values=self.values,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "AgingTable":
+        """Load a table persisted by :meth:`save`."""
+        data = np.load(path)
+        return cls(
+            temp_grid_k=data["temp_grid_k"],
+            duty_grid=data["duty_grid"],
+            age_grid_years=data["age_grid_years"],
+            values=data["values"],
+        )
+
+
+def build_aging_table(
+    estimator: CoreAgingEstimator | None = None,
+    temp_grid_k: np.ndarray | None = None,
+    duty_grid: np.ndarray | None = None,
+    age_grid_years: np.ndarray | None = None,
+) -> AgingTable:
+    """Offline table generation (start-up-time effort, once per design)."""
+    if estimator is None:
+        estimator = CoreAgingEstimator()
+    temp_grid_k = (
+        _default_temp_grid() if temp_grid_k is None else np.asarray(temp_grid_k)
+    )
+    duty_grid = _default_duty_grid() if duty_grid is None else np.asarray(duty_grid)
+    age_grid_years = (
+        _default_age_grid() if age_grid_years is None else np.asarray(age_grid_years)
+    )
+    values = np.empty((len(temp_grid_k), len(duty_grid), len(age_grid_years)))
+    for i, temp in enumerate(temp_grid_k):
+        for j, duty in enumerate(duty_grid):
+            for k, age in enumerate(age_grid_years):
+                values[i, j, k] = estimator.relative_fmax(temp, duty, age)
+    return AgingTable(temp_grid_k, duty_grid, age_grid_years, values)
+
+
+@lru_cache(maxsize=1)
+def default_aging_table() -> AgingTable:
+    """The table for the default synthesized design, built once per process.
+
+    Table generation is the paper's "start-up time effort for a given
+    chip"; callers that don't customize the design or grids should share
+    this cached instance.
+    """
+    return build_aging_table()

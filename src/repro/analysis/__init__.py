@@ -1,0 +1,51 @@
+"""Analysis helpers: lifetime gains, summary statistics, rendering.
+
+Everything the benchmark harness needs to turn raw
+:class:`repro.sim.LifetimeResult` records into the rows and series the
+paper's figures report.
+"""
+
+from repro.analysis.lifetime import (
+    lifetime_at_requirement,
+    lifetime_gain_years,
+    requirement_for_lifetime,
+)
+from repro.analysis.guardband import (
+    chip_level_guardband_ghz,
+    core_level_advantage_fraction,
+    guardband_loss_fraction,
+)
+from repro.analysis.mttf import (
+    acceleration_factor,
+    mttf_doubling_delta_k,
+    relative_mttf,
+)
+from repro.analysis.prognosis import (
+    LifetimePrognosis,
+    fit_health_trend,
+    prognose_lifetime,
+)
+from repro.analysis.render import render_core_map, render_dcm
+from repro.analysis.report import campaign_report
+from repro.analysis.stats import distribution_summary, normalized_box_stats
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "LifetimePrognosis",
+    "acceleration_factor",
+    "campaign_report",
+    "chip_level_guardband_ghz",
+    "core_level_advantage_fraction",
+    "distribution_summary",
+    "fit_health_trend",
+    "format_table",
+    "guardband_loss_fraction",
+    "lifetime_at_requirement",
+    "lifetime_gain_years",
+    "mttf_doubling_delta_k",
+    "normalized_box_stats",
+    "prognose_lifetime",
+    "relative_mttf",
+    "render_core_map",
+    "render_dcm",
+]

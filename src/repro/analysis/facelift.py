@@ -1,0 +1,100 @@
+"""Chip-wide Vdd scaling: the FaceLift-style trade-off, quantified.
+
+The paper contrasts itself with FaceLift [11], which decelerates aging
+through *chip-wide* Vdd changes.  Eq. 7's ``Vdd^4`` term makes supply
+reduction a powerful aging lever — but the alpha-power law taxes every
+core's frequency for it, and the knob is chip-wide where variation is
+per-core.  These helpers quantify both sides so the approaches can be
+compared analytically, without plumbing per-epoch voltages through the
+whole simulator.
+
+The key identity used to reuse fixed-Vdd aging tables: since
+``dVth ~ Vdd^4 d^(1/6)``, operating at ``V`` instead of ``V0`` is
+equivalent (for aging) to scaling the duty cycle by ``(V/V0)^24``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aging.nbti import NBTIModel
+from repro.circuit.delay import DEFAULT_ALPHA
+from repro.util.validation import check_positive
+
+
+def frequency_scale(
+    vdd: float,
+    vdd_ref: float = 1.13,
+    vth: float = 0.32,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Relative fmax at ``vdd`` vs ``vdd_ref`` (alpha-power law).
+
+    ``f ~ (V - Vth)^alpha / V``; below ``Vth`` the device stops.
+    """
+    check_positive("vdd", vdd)
+    check_positive("vdd_ref", vdd_ref)
+    if vdd <= vth or vdd_ref <= vth:
+        raise ValueError("supply must exceed the threshold voltage")
+    ref = (vdd_ref - vth) ** alpha / vdd_ref
+    now = (vdd - vth) ** alpha / vdd
+    return now / ref
+
+
+def aging_equivalent_duty_scale(vdd: float, vdd_ref: float = 1.13) -> float:
+    """Duty multiplier equivalent to running at ``vdd`` instead of
+    ``vdd_ref`` (the ``(V/V0)^24`` identity; see module docstring)."""
+    check_positive("vdd", vdd)
+    check_positive("vdd_ref", vdd_ref)
+    return (vdd / vdd_ref) ** 24
+
+
+@dataclass(frozen=True)
+class VddOperatingPoint:
+    """One row of the FaceLift trade-off table."""
+
+    vdd: float
+    frequency_scale: float
+    health_10y: float
+    dynamic_power_scale: float
+
+
+def facelift_tradeoff(
+    vdd_levels: np.ndarray,
+    temp_k: float = 358.0,
+    duty: float = 0.7,
+    years: float = 10.0,
+    vdd_ref: float = 1.13,
+    vth: float = 0.32,
+    nbti: NBTIModel | None = None,
+) -> list[VddOperatingPoint]:
+    """Evaluate the chip-wide-Vdd trade-off at several supply levels.
+
+    For each level: the frequency cost (alpha-power), the aging benefit
+    (health after ``years`` under the scaled stress), and the dynamic
+    power scale (``V^2``).  The reference level appears with
+    ``frequency_scale == 1``.
+    """
+    if nbti is None:
+        nbti = NBTIModel(vdd=vdd_ref)
+    from repro.circuit.delay import alpha_power_delay_factor
+
+    points = []
+    for vdd in np.asarray(vdd_levels, dtype=float):
+        duty_scale = aging_equivalent_duty_scale(vdd, vdd_ref)
+        effective_duty = float(np.clip(duty * duty_scale, 0.0, 1.0))
+        shift = float(nbti.delta_vth(temp_k, years, effective_duty))
+        health = 1.0 / float(
+            alpha_power_delay_factor(shift, vdd_ref, vth)
+        )
+        points.append(
+            VddOperatingPoint(
+                vdd=float(vdd),
+                frequency_scale=frequency_scale(vdd, vdd_ref, vth),
+                health_10y=health,
+                dynamic_power_scale=float((vdd / vdd_ref) ** 2),
+            )
+        )
+    return points

@@ -1,0 +1,75 @@
+"""Lifetime-gain arithmetic for the Fig. 11 comparison.
+
+The paper states gains in the form "Hayat improves the lifetime by
+3 months if the required lifetime is 3 years": for a target lifetime
+``L``, the implied frequency requirement is the level the *baseline*
+still sustains at ``L`` (i.e. the requirement under which the baseline's
+lifetime is exactly ``L``); the policy's lifetime at that same
+requirement is then ``L + gain``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def requirement_for_lifetime(
+    years: np.ndarray, avg_freq_ghz: np.ndarray, target_years: float
+) -> float:
+    """The average-frequency level a trajectory sustains to ``target_years``.
+
+    ``years``/``avg_freq_ghz`` describe a (non-increasing) trajectory;
+    linear interpolation between samples.
+    """
+    years = np.asarray(years, dtype=float)
+    avg_freq_ghz = np.asarray(avg_freq_ghz, dtype=float)
+    if years.shape != avg_freq_ghz.shape or years.ndim != 1 or years.size < 2:
+        raise ValueError("years and avg_freq_ghz must be matching 1-D arrays")
+    if target_years < years[0] or target_years > years[-1]:
+        raise ValueError(
+            f"target {target_years} outside trajectory span "
+            f"[{years[0]}, {years[-1]}]"
+        )
+    return float(np.interp(target_years, years, avg_freq_ghz))
+
+
+def lifetime_at_requirement(
+    years: np.ndarray, avg_freq_ghz: np.ndarray, required_ghz: float
+) -> float:
+    """Years until the trajectory first drops below ``required_ghz``.
+
+    Returns the trajectory's last timestamp when the requirement is
+    never violated (a lower bound on the true lifetime).
+    """
+    years = np.asarray(years, dtype=float)
+    freq = np.asarray(avg_freq_ghz, dtype=float)
+    below = np.flatnonzero(freq < required_ghz)
+    if below.size == 0:
+        return float(years[-1])
+    k = int(below[0])
+    if k == 0:
+        return float(years[0])
+    frac = (freq[k - 1] - required_ghz) / (freq[k - 1] - freq[k])
+    return float(years[k - 1] + frac * (years[k] - years[k - 1]))
+
+
+def lifetime_gain_years(
+    years: np.ndarray,
+    baseline_freq_ghz: np.ndarray,
+    policy_freq_ghz: np.ndarray,
+    target_years: float,
+) -> float:
+    """Extra lifetime the policy provides at the baseline's ``target``.
+
+    Computes the requirement the baseline sustains exactly to
+    ``target_years`` and returns the policy's lifetime at that
+    requirement minus the target.  A positive value means the policy
+    outlives the baseline; when the policy never violates the
+    requirement inside the simulated span, the gain is the span's
+    remainder (a lower bound).
+    """
+    requirement = requirement_for_lifetime(
+        years, baseline_freq_ghz, target_years
+    )
+    policy_lifetime = lifetime_at_requirement(years, policy_freq_ghz, requirement)
+    return policy_lifetime - target_years

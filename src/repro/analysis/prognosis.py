@@ -1,0 +1,86 @@
+"""Online lifetime prognosis from monitored health history.
+
+A deployed run-time manager wants to answer "when will this chip stop
+meeting its requirement?" from the health samples its monitors have
+already collected — without a model of the future workload.  Under
+reaction-diffusion aging the health loss follows the ``t^(1/6)``
+envelope, so fitting ``1 - h(t) = c * t^(1/6)`` to the observed samples
+and extrapolating gives a serviceable prognosis years ahead of the
+crossing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aging.nbti import TIME_EXPONENT
+
+
+@dataclass(frozen=True)
+class LifetimePrognosis:
+    """The fit and its projection."""
+
+    #: Fitted loss coefficient ``c`` in ``1 - h = c * t^(1/6)``.
+    loss_coefficient: float
+    #: Root-mean-square residual of the fit (health units).
+    fit_rms: float
+    #: Projected years until the tracked health crosses the threshold
+    #: (inf when the fitted trend never crosses it).
+    projected_crossing_years: float
+
+
+def fit_health_trend(
+    years: np.ndarray,
+    health: np.ndarray,
+    exponent: float = TIME_EXPONENT,
+) -> tuple[float, float]:
+    """Least-squares fit of ``1 - h = c * t^exponent``.
+
+    Returns ``(c, rms_residual)``.  Samples at ``t = 0`` contribute no
+    information (the basis vanishes there) and are tolerated.
+    """
+    years = np.asarray(years, dtype=float)
+    health = np.asarray(health, dtype=float)
+    if years.shape != health.shape or years.ndim != 1 or years.size < 2:
+        raise ValueError("need matching 1-D arrays with >= 2 samples")
+    if (years < 0).any():
+        raise ValueError("years must be non-negative")
+    if (health <= 0).any() or (health > 1.0 + 1e-12).any():
+        raise ValueError("health must lie in (0, 1]")
+    basis = years**exponent
+    loss = 1.0 - health
+    denom = float(basis @ basis)
+    if denom == 0.0:
+        raise ValueError("all samples at t = 0; nothing to fit")
+    c = float(basis @ loss) / denom
+    residual = loss - c * basis
+    return c, float(np.sqrt(np.mean(residual**2)))
+
+
+def prognose_lifetime(
+    years: np.ndarray,
+    health: np.ndarray,
+    health_threshold: float,
+    exponent: float = TIME_EXPONENT,
+) -> LifetimePrognosis:
+    """Project when the health trend crosses ``health_threshold``.
+
+    ``health`` may be any monitored per-chip health summary (minimum
+    core, average, or the requirement-critical core's).  A non-positive
+    fitted coefficient (no observed degradation) projects an infinite
+    lifetime.
+    """
+    if not 0.0 < health_threshold < 1.0:
+        raise ValueError("health_threshold must lie in (0, 1)")
+    c, rms = fit_health_trend(years, health, exponent)
+    if c <= 0.0:
+        crossing = float("inf")
+    else:
+        crossing = ((1.0 - health_threshold) / c) ** (1.0 / exponent)
+    return LifetimePrognosis(
+        loss_coefficient=c,
+        fit_rms=rms,
+        projected_crossing_years=crossing,
+    )

@@ -1,0 +1,74 @@
+"""ASCII rendering of per-core maps (the Fig. 2 / Fig. 11 visuals).
+
+The paper's figures are color heatmaps over the 8x8 core grid; in a
+terminal we render the same data as aligned numeric grids or shade
+characters.  Rendering is presentation only — no analysis logic here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.floorplan import Floorplan
+from repro.mapping import DarkCoreMap
+
+#: Shade ramp used by the coarse visual mode, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def render_core_map(
+    floorplan: Floorplan,
+    values: np.ndarray,
+    fmt: str = "{:6.2f}",
+    title: str | None = None,
+    shades: bool = False,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render a per-core value vector as a text grid.
+
+    Parameters
+    ----------
+    values:
+        Flat per-core vector.
+    fmt:
+        Format applied per cell in numeric mode.
+    shades:
+        Render relative magnitude as a character ramp instead of
+        numbers (useful for quick visual comparison of two maps).
+    vmin, vmax:
+        Fixed scale for shade mode; defaults to the data range.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.shape != (floorplan.num_cores,):
+        raise ValueError("values must be a flat per-core vector")
+    grid = floorplan.to_grid(values)
+    lines = []
+    if title:
+        lines.append(title)
+    if shades:
+        low = float(values.min()) if vmin is None else float(vmin)
+        high = float(values.max()) if vmax is None else float(vmax)
+        span = high - low if high > low else 1.0
+        for row in grid:
+            cells = []
+            for v in row:
+                idx = int(np.clip((v - low) / span, 0, 1) * (len(_SHADES) - 1))
+                cells.append(_SHADES[idx] * 2)
+            lines.append(" ".join(cells))
+        lines.append(f"scale: '{_SHADES[0]}'={low:.2f} .. '{_SHADES[-1]}'={high:.2f}")
+    else:
+        for row in grid:
+            lines.append(" ".join(fmt.format(v) for v in row))
+    return "\n".join(lines)
+
+
+def render_dcm(floorplan: Floorplan, dcm: DarkCoreMap, title: str | None = None) -> str:
+    """Render a dark core map: ``[]`` powered on, ``..`` dark."""
+    grid = floorplan.to_grid(dcm.powered_on.astype(float))
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append(" ".join("[]" if v else ".." for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Campaign reports: one markdown document with every figure's table.
+
+Turns a :class:`repro.sim.CampaignResult` (or a pair at different dark
+floors) into the full evaluation story — the same content the benchmark
+harness prints, assembled for humans who ran a campaign via the CLI or
+a notebook.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.lifetime import lifetime_gain_years
+from repro.analysis.stats import distribution_summary
+from repro.analysis.tables import format_table
+from repro.util.constants import AMBIENT_KELVIN
+
+
+def _normalized_section(campaign, baseline: str, policy: str) -> str:
+    rows = []
+    metrics = [
+        ("DTM events (Fig. 7)", campaign.normalized_dtm_events),
+        ("temperature rise (Fig. 8)", campaign.normalized_temp_rise),
+        ("chip-fmax aging (Fig. 9)", campaign.normalized_chip_fmax_aging),
+        ("avg-fmax aging (Fig. 10)", campaign.normalized_avg_fmax_aging),
+    ]
+    for label, fn in metrics:
+        values = fn(baseline, policy)
+        if values.size == 0:
+            rows.append([label, "n/a", "n/a", "n/a"])
+            continue
+        summary = distribution_summary(values)
+        rows.append(
+            [
+                label,
+                f"{summary.mean:.3f}",
+                f"{summary.minimum:.3f}",
+                f"{summary.maximum:.3f}",
+            ]
+        )
+    return format_table(
+        ["metric (policy / baseline)", "mean", "min", "max"],
+        rows,
+        title=f"Normalized comparison: {policy} vs {baseline} "
+        f"(dark floor {100 * campaign.config.dark_fraction_min:.0f} %)",
+    )
+
+
+def _trajectory_section(campaign) -> str:
+    years = campaign.results[campaign.policies()[0]][0].years()
+    sample_idx = np.unique(
+        np.clip(
+            np.searchsorted(years, [1, 2, 3, 5, 7, 10]), 0, len(years) - 1
+        )
+    )
+    rows = []
+    for name in campaign.policies():
+        traj = campaign.mean_avg_fmax_trajectory(name)
+        rows.append([name] + [f"{traj[i]:.3f}" for i in sample_idx])
+    return format_table(
+        ["policy"] + [f"yr {years[i]:.0f}" for i in sample_idx],
+        rows,
+        title="Average frequency over the lifetime (GHz, Fig. 11 right)",
+    )
+
+
+def _lifetime_section(campaign, baseline: str, policy: str) -> str:
+    years = np.concatenate(
+        [[0.0], campaign.results[baseline][0].years()]
+    )
+    start = np.mean(
+        [r.fmax_init_ghz.mean() for r in campaign.results[baseline]]
+    )
+    base = np.concatenate([[start], campaign.mean_avg_fmax_trajectory(baseline)])
+    poli = np.concatenate([[start], campaign.mean_avg_fmax_trajectory(policy)])
+    rows = []
+    horizon = float(years[-1])
+    for target in (3.0, 5.0, 8.0):
+        if target >= horizon:
+            continue
+        gain = lifetime_gain_years(years, base, poli, target)
+        rows.append([f"{target:.0f} years", f">= {12 * gain:.0f} months"])
+    if not rows:
+        rows.append(["(lifetime too short)", "n/a"])
+    return format_table(
+        ["required lifetime", f"{policy} gain (span-clipped)"],
+        rows,
+        title="Lifetime gains (Fig. 11)",
+    )
+
+
+def campaign_report(
+    campaign,
+    baseline: str = "vaa",
+    policy: str = "hayat",
+) -> str:
+    """Full markdown report for one campaign."""
+    if baseline not in campaign.results or policy not in campaign.results:
+        raise ValueError(
+            f"campaign lacks {baseline!r}/{policy!r}; has {campaign.policies()}"
+        )
+    num_chips = len(campaign.results[baseline])
+    header = (
+        f"# Campaign report\n\n"
+        f"- chips: {num_chips}\n"
+        f"- lifetime: {campaign.config.lifetime_years:.1f} years "
+        f"({campaign.config.num_epochs} epochs)\n"
+        f"- minimum dark silicon: "
+        f"{100 * campaign.config.dark_fraction_min:.0f} %\n"
+        f"- policies: {', '.join(campaign.policies())}\n"
+        f"- ambient: {AMBIENT_KELVIN - 273.15:.0f} C\n"
+    )
+    sections = [
+        header,
+        "```\n" + _normalized_section(campaign, baseline, policy) + "\n```",
+        "```\n" + _trajectory_section(campaign) + "\n```",
+        "```\n" + _lifetime_section(campaign, baseline, policy) + "\n```",
+    ]
+    return "\n\n".join(sections) + "\n"

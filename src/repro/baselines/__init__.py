@@ -1,0 +1,24 @@
+"""Comparison policies.
+
+* :class:`VAAManager` — the paper's comparison partner: the smart-hill-
+  climbing contiguous mapper of Fattah et al. [28], extended (as the
+  paper describes, Section VI) to be variability- and aging-aware for
+  maximum-throughput mapping, with epoch knowledge, DTM support, and
+  core-level frequency scaling.
+* :class:`CoolestFirstManager` — temperature-only mapping over a
+  temperature-optimized DCM; the "cores selected only by temperature"
+  strawman of Section II's discussion.
+* :class:`RandomManager` — random feasible mapping; an ablation floor.
+"""
+
+from repro.baselines.vaa import VAAManager
+from repro.baselines.contiguous import ContiguousManager
+from repro.baselines.coolest import CoolestFirstManager
+from repro.baselines.random_map import RandomManager
+
+__all__ = [
+    "ContiguousManager",
+    "CoolestFirstManager",
+    "RandomManager",
+    "VAAManager",
+]

@@ -1,0 +1,52 @@
+"""Contiguous-DCM policy: the naive dense map of Fig. 2(a).
+
+Powers a dense block of cores and places threads first-fit onto
+frequency-feasible cores.  No thermal or aging awareness whatsoever —
+the Section II analysis baseline that shows why dense DCMs run hot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dcm import contiguous_dcm
+from repro.mapping.state import ChipState
+from repro.workload.mix import WorkloadMix
+
+
+class ContiguousManager:
+    """Dense block DCM + first-fit feasible mapping."""
+
+    name = "contiguous"
+
+    def prepare_epoch(self, ctx, mix: WorkloadMix, epoch_years: float) -> ChipState:
+        """Power a dense row-major block and place threads first-fit
+        (stiffest requirement first) on feasible cores."""
+        health_now = ctx.measured_health()
+        fmax_now = ctx.chip.fmax_init_ghz * health_now
+        n = ctx.chip.num_cores
+        num_on = len(mix.threads)
+        if num_on > ctx.max_on_cores:
+            raise ValueError(
+                f"mix has {num_on} threads but the dark-silicon floor "
+                f"allows only {ctx.max_on_cores} powered-on cores"
+            )
+        dcm = contiguous_dcm(ctx.floorplan, num_on)
+        state = ChipState(n, mix.threads, dcm)
+        order = sorted(
+            range(len(mix.threads)),
+            key=lambda i: mix.threads[i].fmin_ghz,
+            reverse=True,
+        )
+        for thread_index in order:
+            thread = mix.threads[thread_index]
+            idle = state.powered_on & (state.assignment < 0)
+            feasible = np.flatnonzero(idle & (fmax_now >= thread.fmin_ghz))
+            if feasible.size == 0:
+                feasible = np.flatnonzero(idle)
+                if feasible.size == 0:
+                    break
+            core = int(feasible[0])  # first fit
+            freq = min(thread.fmin_ghz, float(fmax_now[core]))
+            state.place(thread_index, core, max(freq, 1e-3))
+        return state

@@ -1,0 +1,62 @@
+"""Temperature-only mapping: the Section II strawman.
+
+Spreads the DCM for heat dissipation (like Hayat) but assigns threads
+purely by predicted coldness, with no regard for variation or health —
+the policy the paper's analysis warns "can lead to frequency degradation
+of cores that should better be saved for later".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dcm import temperature_optimized_dcm
+from repro.mapping.state import ChipState
+from repro.workload.mix import WorkloadMix
+
+
+class CoolestFirstManager:
+    """Temperature-optimized DCM + coldest-feasible-core assignment."""
+
+    name = "coolest"
+
+    def prepare_epoch(self, ctx, mix: WorkloadMix, epoch_years: float) -> ChipState:
+        """Spread the DCM thermally, then assign each thread (stiffest
+        first) to the coldest frequency-feasible idle core."""
+        health_now = ctx.measured_health()
+        fmax_now = ctx.chip.fmax_init_ghz * health_now
+        n = ctx.chip.num_cores
+        num_on = len(mix.threads)
+        if num_on > ctx.max_on_cores:
+            raise ValueError(
+                f"mix has {num_on} threads but the dark-silicon floor "
+                f"allows only {ctx.max_on_cores} powered-on cores"
+            )
+        dcm = temperature_optimized_dcm(ctx.floorplan, num_on, ctx.predictor.influence)
+        state = ChipState(n, mix.threads, dcm)
+
+        temps = (
+            ctx.last_temps_k
+            if ctx.last_temps_k is not None
+            else np.full(n, ctx.predictor.ambient_k)
+        ).copy()
+        order = sorted(
+            range(len(mix.threads)),
+            key=lambda i: mix.threads[i].fmin_ghz,
+            reverse=True,
+        )
+        for thread_index in order:
+            thread = mix.threads[thread_index]
+            idle = state.powered_on & (state.assignment < 0)
+            feasible = np.flatnonzero(idle & (fmax_now >= thread.fmin_ghz))
+            if feasible.size == 0:
+                feasible = np.flatnonzero(idle)
+                if feasible.size == 0:
+                    break
+            core = int(feasible[np.argmin(temps[feasible])])
+            freq = min(thread.fmin_ghz, float(fmax_now[core]))
+            state.place(thread_index, core, max(freq, 1e-3))
+            # Greedy running update: the placed thread warms its core so
+            # subsequent picks avoid it.
+            temps = temps + ctx.predictor.influence[:, core] * 3.0
+        return state

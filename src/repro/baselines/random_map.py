@@ -1,0 +1,65 @@
+"""Random feasible mapping: the ablation floor.
+
+A random DCM of the right size and a random assignment of threads to
+frequency-feasible cores.  Any management policy worth its overhead must
+beat this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mapping.state import ChipState, DarkCoreMap
+from repro.workload.mix import WorkloadMix
+
+
+class RandomManager:
+    """Uniformly random DCM and feasible placement.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; each epoch derives a fresh stream from it and the
+        context's elapsed time, so decisions vary across epochs but the
+        whole lifetime is reproducible.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def prepare_epoch(self, ctx, mix: WorkloadMix, epoch_years: float) -> ChipState:
+        """Draw a uniformly random DCM of the right size and place each
+        thread on a random frequency-feasible core."""
+        health_now = ctx.measured_health()
+        fmax_now = ctx.chip.fmax_init_ghz * health_now
+        n = ctx.chip.num_cores
+        num_on = len(mix.threads)
+        if num_on > ctx.max_on_cores:
+            raise ValueError(
+                f"mix has {num_on} threads but the dark-silicon floor "
+                f"allows only {ctx.max_on_cores} powered-on cores"
+            )
+        rng = np.random.default_rng(
+            (self.seed, int(ctx.elapsed_years * 1000), ctx.chip_seed_token())
+        )
+        on = rng.choice(n, size=num_on, replace=False)
+        state = ChipState(n, mix.threads, DarkCoreMap.from_on_indices(n, on))
+        order = sorted(
+            range(len(mix.threads)),
+            key=lambda i: mix.threads[i].fmin_ghz,
+            reverse=True,
+        )
+        for thread_index in order:
+            thread = mix.threads[thread_index]
+            idle = state.powered_on & (state.assignment < 0)
+            feasible = np.flatnonzero(idle & (fmax_now >= thread.fmin_ghz))
+            if feasible.size == 0:
+                feasible = np.flatnonzero(idle)
+                if feasible.size == 0:
+                    break
+            core = int(rng.choice(feasible))
+            freq = min(thread.fmin_ghz, float(fmax_now[core]))
+            state.place(thread_index, core, max(freq, 1e-3))
+        return state

@@ -1,0 +1,155 @@
+"""Synthetic standard-cell library.
+
+Each cell carries the attributes the aging estimator needs: un-aged
+delay, how its output probability relates to input probabilities, and
+how many of its inputs stress PMOS devices when held low (the NBTI
+stress condition is ``Vgs = -Vdd``, i.e. a logic-0 input to a PMOS gate).
+
+Delays are loosely modeled on a 45 nm library (the paper's NBTI models
+come from a 45 nm TSMC library scaled to 11 nm); the absolute picosecond
+values only set the scale of ``fmax`` — aging results are relative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+# Output-probability functions: map input signal probabilities (each the
+# probability of the net being logic 1) to the output's probability,
+# assuming independent inputs (standard in signal-probability analysis).
+
+
+def _p_inv(p: np.ndarray) -> float:
+    return 1.0 - p[0]
+
+
+def _p_nand(p: np.ndarray) -> float:
+    return 1.0 - float(np.prod(p))
+
+
+def _p_nor(p: np.ndarray) -> float:
+    return float(np.prod(1.0 - p))
+
+
+def _p_and(p: np.ndarray) -> float:
+    return float(np.prod(p))
+
+
+def _p_or(p: np.ndarray) -> float:
+    return 1.0 - float(np.prod(1.0 - p))
+
+
+def _p_xor(p: np.ndarray) -> float:
+    out = 0.0
+    for prob in p:
+        out = out * (1.0 - prob) + (1.0 - out) * prob
+    return out
+
+
+def _p_buf(p: np.ndarray) -> float:
+    return float(p[0])
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard-cell type.
+
+    Parameters
+    ----------
+    name:
+        Library name, e.g. ``"NAND2_X1"``.
+    num_inputs:
+        Fan-in.
+    delay_ps:
+        Un-aged propagation delay at nominal conditions (the ``D(le)``
+        of Eq. 8).
+    output_probability:
+        Function mapping input 1-probabilities to output 1-probability.
+    pmos_stress_from_low_inputs:
+        True when a logic-0 *input* stresses a PMOS device of this cell
+        (inverter-like input stages: INV/NAND/AND).  NOR/OR-like cells
+        have stacked PMOS; their stress probability derives from inputs
+        being low simultaneously — conservatively approximated the same
+        way, which is the standard static-probability treatment.
+    is_sequential:
+        Sequential elements terminate timing paths.
+    """
+
+    name: str
+    num_inputs: int
+    delay_ps: float
+    output_probability: Callable[[np.ndarray], float]
+    pmos_stress_from_low_inputs: bool = True
+    is_sequential: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1:
+            raise ValueError("num_inputs must be >= 1")
+        check_positive("delay_ps", self.delay_ps)
+
+    def stress_duty(self, input_probabilities: np.ndarray) -> float:
+        """PMOS stress duty cycle of this cell instance.
+
+        The fraction of time at least one PMOS device sees ``Vgs=-Vdd``,
+        i.e. the average probability of an input being logic 0.
+        """
+        p = np.asarray(input_probabilities, dtype=float)
+        if p.shape != (self.num_inputs,):
+            raise ValueError(
+                f"{self.name} expects {self.num_inputs} input probabilities"
+            )
+        return float(np.mean(1.0 - p))
+
+
+class CellLibrary:
+    """A named collection of :class:`Cell` types."""
+
+    def __init__(self, cells: list[Cell]):
+        if not cells:
+            raise ValueError("a cell library needs at least one cell")
+        self._cells = {cell.name: cell for cell in cells}
+        if len(self._cells) != len(cells):
+            raise ValueError("duplicate cell names in library")
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(f"no cell named {name!r} in library") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def names(self) -> list[str]:
+        """Cell names in insertion order."""
+        return list(self._cells)
+
+    def combinational(self) -> list[Cell]:
+        """All non-sequential cells."""
+        return [c for c in self._cells.values() if not c.is_sequential]
+
+
+def default_library() -> CellLibrary:
+    """The library used throughout: a 45 nm-flavoured minimal set."""
+    return CellLibrary(
+        [
+            Cell("INV_X1", 1, 12.0, _p_inv),
+            Cell("BUF_X2", 1, 18.0, _p_buf),
+            Cell("NAND2_X1", 2, 16.0, _p_nand),
+            Cell("NAND3_X1", 3, 21.0, _p_nand),
+            Cell("NOR2_X1", 2, 19.0, _p_nor),
+            Cell("AND2_X1", 2, 22.0, _p_and),
+            Cell("OR2_X1", 2, 24.0, _p_or),
+            Cell("XOR2_X1", 2, 30.0, _p_xor),
+            Cell("DFF_X1", 1, 45.0, _p_buf, is_sequential=True),
+        ]
+    )

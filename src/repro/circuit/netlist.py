@@ -1,0 +1,89 @@
+"""Combinational netlist representation with topological queries.
+
+A :class:`Netlist` is a DAG of :class:`Gate` instances over integer net
+ids.  Primary inputs are nets no gate drives; each gate drives exactly
+one net.  The structure supports the two analyses the aging flow needs:
+signal-probability propagation and timing-path extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.cells import Cell, CellLibrary
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One cell instance: which cell type, input nets, output net."""
+
+    cell_name: str
+    inputs: tuple[int, ...]
+    output: int
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError("a gate needs at least one input net")
+        if self.output in self.inputs:
+            raise ValueError("combinational feedback (output feeds an input)")
+
+
+@dataclass
+class Netlist:
+    """A combinational DAG of gates.
+
+    Gates must be listed in topological order (every input of gate ``k``
+    is either a primary input or the output of a gate before ``k``);
+    :meth:`validate` enforces this, and the synthesizer produces
+    conforming lists by construction.
+    """
+
+    library: CellLibrary
+    gates: list[Gate] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on violation."""
+        driven: set[int] = set()
+        for gate in self.gates:
+            cell = self.library[gate.cell_name]
+            if len(gate.inputs) != cell.num_inputs:
+                raise ValueError(
+                    f"{gate.cell_name} expects {cell.num_inputs} inputs, "
+                    f"gate lists {len(gate.inputs)}"
+                )
+            if gate.output in driven:
+                raise ValueError(f"net {gate.output} driven twice")
+            for net in gate.inputs:
+                if net in driven:
+                    continue
+                if net >= gate.output and net in self.all_outputs():
+                    raise ValueError("gates are not in topological order")
+            driven.add(gate.output)
+
+    def all_outputs(self) -> set[int]:
+        """Set of nets driven by some gate."""
+        return {gate.output for gate in self.gates}
+
+    def primary_inputs(self) -> list[int]:
+        """Nets used as inputs that no gate drives, sorted."""
+        driven = self.all_outputs()
+        seen: set[int] = set()
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in driven:
+                    seen.add(net)
+        return sorted(seen)
+
+    def primary_outputs(self) -> list[int]:
+        """Driven nets that feed no other gate (the DAG's sinks), sorted."""
+        used: set[int] = set()
+        for gate in self.gates:
+            used.update(gate.inputs)
+        return sorted(self.all_outputs() - used)
+
+    def cell_of(self, gate: Gate) -> Cell:
+        """Resolve a gate's cell type."""
+        return self.library[gate.cell_name]
+
+    def __len__(self) -> int:
+        return len(self.gates)

@@ -1,0 +1,62 @@
+"""Static signal-probability propagation.
+
+Replaces the paper's gate-level (ModelSim) simulations: given the logic-1
+probability of every primary input, propagate probabilities through the
+DAG under the independence assumption.  Each gate's PMOS stress duty
+cycle — the ``d`` of Eq. 7 for that logic element — falls out directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.util.validation import check_probability_array
+
+
+def propagate_signal_probabilities(
+    netlist: Netlist, input_probabilities: dict[int, float]
+) -> dict[int, float]:
+    """Compute the logic-1 probability of every net.
+
+    Parameters
+    ----------
+    netlist:
+        The combinational DAG (gates in topological order).
+    input_probabilities:
+        Probability of each primary-input net being logic 1.  Missing
+        primary inputs default to 0.5 (the uninformed prior).
+
+    Returns
+    -------
+    dict
+        Net id -> probability, covering primary inputs and all driven
+        nets.
+    """
+    probs: dict[int, float] = {}
+    for net in netlist.primary_inputs():
+        value = float(input_probabilities.get(net, 0.5))
+        check_probability_array(f"input probability of net {net}", np.array([value]))
+        probs[net] = value
+    for gate in netlist.gates:
+        cell = netlist.cell_of(gate)
+        p_in = np.array([probs[net] for net in gate.inputs])
+        probs[gate.output] = float(np.clip(cell.output_probability(p_in), 0.0, 1.0))
+    return probs
+
+
+def gate_stress_duties(
+    netlist: Netlist, net_probabilities: dict[int, float]
+) -> list[float]:
+    """Per-gate PMOS stress duty cycles, in gate order.
+
+    A PMOS device is under NBTI stress while its gate input is logic 0;
+    each cell averages that over its inputs (see
+    :meth:`repro.circuit.cells.Cell.stress_duty`).
+    """
+    duties = []
+    for gate in netlist.gates:
+        cell = netlist.cell_of(gate)
+        p_in = np.array([net_probabilities[net] for net in gate.inputs])
+        duties.append(cell.stress_duty(p_in))
+    return duties

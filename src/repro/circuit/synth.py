@@ -1,0 +1,155 @@
+""""Processor synthesis": generate a core's netlist and critical paths.
+
+Stands in for the Synopsys-DC step of the paper's offline flow: produce,
+reproducibly, a combinational netlist shaped like a processor pipeline
+stage, extract its top-x% critical paths, and annotate every path element
+with its PMOS stress duty cycle from signal-probability analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.cells import CellLibrary, default_library
+from repro.circuit.netlist import Gate, Netlist
+from repro.circuit.signalprob import (
+    gate_stress_duties,
+    propagate_signal_probabilities,
+)
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """One extracted timing path.
+
+    ``element_delays_ps`` and ``element_duties`` align element-wise: the
+    un-aged delay ``D(le)`` and PMOS stress duty of every logic element
+    on the path (the inputs Eq. 8 sums over).
+    """
+
+    gate_indices: tuple[int, ...]
+    element_delays_ps: tuple[float, ...]
+    element_duties: tuple[float, ...]
+
+    @property
+    def unaged_delay_ps(self) -> float:
+        """Total un-aged path delay."""
+        return float(sum(self.element_delays_ps))
+
+    def __len__(self) -> int:
+        return len(self.gate_indices)
+
+
+@dataclass
+class SynthesizedCore:
+    """The synthesis product: netlist plus its top critical paths."""
+
+    netlist: Netlist
+    critical_paths: list[CriticalPath]
+
+    @property
+    def unaged_critical_delay_ps(self) -> float:
+        """The slowest path's un-aged delay (sets nominal fmax)."""
+        return max(p.unaged_delay_ps for p in self.critical_paths)
+
+
+def _random_netlist(
+    library: CellLibrary,
+    num_gates: int,
+    num_primary_inputs: int,
+    rng: np.random.Generator,
+) -> Netlist:
+    """Random topological DAG: each gate draws inputs from earlier nets."""
+    combinational = library.combinational()
+    gates: list[Gate] = []
+    available = list(range(num_primary_inputs))  # nets usable as inputs
+    next_net = num_primary_inputs
+    for _ in range(num_gates):
+        cell = combinational[rng.integers(len(combinational))]
+        # Bias toward recent nets so the DAG grows deep (processor-like
+        # logic cones) rather than wide and shallow.
+        weights = np.arange(1, len(available) + 1, dtype=float)
+        weights /= weights.sum()
+        k = min(cell.num_inputs, len(available))
+        chosen = rng.choice(len(available), size=k, replace=False, p=weights)
+        inputs = [available[c] for c in chosen]
+        while len(inputs) < cell.num_inputs:  # fan-in exceeds available nets
+            inputs.append(int(rng.choice(available)))
+        gates.append(Gate(cell.name, tuple(inputs), next_net))
+        available.append(next_net)
+        next_net += 1
+    netlist = Netlist(library, gates)
+    netlist.validate()
+    return netlist
+
+
+def _longest_paths(
+    netlist: Netlist, count: int
+) -> list[list[int]]:
+    """Extract the ``count`` endpoint paths with the largest delay.
+
+    Computes, per net, the single slowest arrival path (standard static
+    timing), then returns the paths to the ``count`` slowest endpoints.
+    """
+    arrival: dict[int, float] = {n: 0.0 for n in netlist.primary_inputs()}
+    best_pred: dict[int, int] = {}  # net -> index of gate driving it
+    for index, gate in enumerate(netlist.gates):
+        cell = netlist.cell_of(gate)
+        slowest_in = max(arrival[n] for n in gate.inputs)
+        arrival[gate.output] = slowest_in + cell.delay_ps
+        best_pred[gate.output] = index
+    endpoints = sorted(
+        netlist.primary_outputs(), key=lambda n: arrival[n], reverse=True
+    )[:count]
+
+    paths = []
+    for endpoint in endpoints:
+        gate_chain: list[int] = []
+        net = endpoint
+        while net in best_pred:
+            index = best_pred[net]
+            gate_chain.append(index)
+            gate = netlist.gates[index]
+            # walk back through the slowest input
+            net = max(gate.inputs, key=lambda n: arrival[n])
+        gate_chain.reverse()
+        paths.append(gate_chain)
+    return paths
+
+
+def synthesize_core(
+    seed: int = 0,
+    num_gates: int = 400,
+    num_primary_inputs: int = 48,
+    num_critical_paths: int = 8,
+    library: CellLibrary | None = None,
+    input_one_probability: float = 0.5,
+) -> SynthesizedCore:
+    """Synthesize one core design and extract its critical paths.
+
+    All chips of a homogeneous manycore share one design, so one call
+    (one seed) serves an entire population.  ``input_one_probability``
+    models the average logic-1 bias of pipeline inputs under a typical
+    application mix.
+    """
+    if library is None:
+        library = default_library()
+    rng = np.random.default_rng(seed)
+    netlist = _random_netlist(library, num_gates, num_primary_inputs, rng)
+    probs = propagate_signal_probabilities(
+        netlist,
+        {n: input_one_probability for n in netlist.primary_inputs()},
+    )
+    duties = gate_stress_duties(netlist, probs)
+    paths = []
+    for gate_chain in _longest_paths(netlist, num_critical_paths):
+        delays = tuple(
+            netlist.cell_of(netlist.gates[g]).delay_ps for g in gate_chain
+        )
+        path_duties = tuple(duties[g] for g in gate_chain)
+        paths.append(CriticalPath(tuple(gate_chain), delays, path_duties))
+    if not paths:
+        raise RuntimeError("synthesis produced no timing paths")
+    return SynthesizedCore(netlist=netlist, critical_paths=paths)

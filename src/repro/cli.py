@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``chip``
+    Manufacture a chip and print its variation maps.
+``simulate``
+    Run one chip's lifetime under a policy; optionally export results.
+``campaign``
+    Run a VAA-vs-Hayat campaign and print the normalized figure metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.aging.tables import default_aging_table
+from repro.analysis import format_table, render_core_map
+from repro.baselines import (
+    ContiguousManager,
+    CoolestFirstManager,
+    RandomManager,
+    VAAManager,
+)
+from repro.core import HayatManager
+from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig, run_campaign
+from repro.sim.export import save_results_json, save_summary_csv
+from repro.util.constants import AMBIENT_KELVIN
+from repro.variation import generate_population
+
+POLICIES = {
+    "hayat": HayatManager,
+    "vaa": VAAManager,
+    "contiguous": ContiguousManager,
+    "coolest": CoolestFirstManager,
+    "random": RandomManager,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hayat (DAC 2015) reproduction - aging management "
+        "for dark-silicon manycores",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chip = sub.add_parser("chip", help="manufacture a chip, print its maps")
+    chip.add_argument("--seed", type=int, default=42)
+    chip.add_argument("--index", type=int, default=0, help="chip index in the population")
+
+    simulate = sub.add_parser("simulate", help="one chip, one policy, full lifetime")
+    simulate.add_argument("--policy", choices=sorted(POLICIES), default="hayat")
+    simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument("--years", type=float, default=10.0)
+    simulate.add_argument("--dark", type=float, default=0.5, help="minimum dark fraction")
+    simulate.add_argument("--json", help="export the full result to this JSON file")
+    simulate.add_argument("--csv", help="export the per-epoch summary to this CSV file")
+
+    campaign = sub.add_parser("campaign", help="VAA vs Hayat over a population")
+    campaign.add_argument("--chips", type=int, default=5)
+    campaign.add_argument("--seed", type=int, default=42)
+    campaign.add_argument("--years", type=float, default=10.0)
+    campaign.add_argument("--dark", type=float, default=0.5)
+    campaign.add_argument("--csv", help="export all per-epoch summaries to CSV")
+    campaign.add_argument(
+        "--report", help="write a full markdown report to this file"
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, help="parallel worker processes"
+    )
+
+    scenario = sub.add_parser(
+        "run-scenario", help="run a JSON scenario document"
+    )
+    scenario.add_argument("path", help="scenario JSON file")
+    scenario.add_argument("--csv", help="export all per-epoch summaries to CSV")
+    scenario.add_argument(
+        "--report", help="write a markdown report (needs vaa+hayat policies)"
+    )
+
+    sweep = sub.add_parser("sweep", help="sweep the dark-silicon floor")
+    sweep.add_argument(
+        "--fractions", type=float, nargs="+", default=[0.25, 0.5],
+        help="minimum dark fractions to sweep",
+    )
+    sweep.add_argument("--chips", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument("--years", type=float, default=10.0)
+    return parser
+
+
+def _cmd_chip(args) -> int:
+    population = generate_population(args.index + 1, seed=args.seed)
+    chip = population[args.index]
+    print(chip)
+    print()
+    print(
+        render_core_map(
+            population.floorplan,
+            chip.fmax_init_ghz,
+            title="initial fmax (GHz):",
+            fmt="{:5.2f}",
+        )
+    )
+    print()
+    print(
+        render_core_map(
+            population.floorplan,
+            chip.leakage_scale,
+            title="leakage multipliers:",
+            fmt="{:5.2f}",
+        )
+    )
+    print()
+    print(f"frequency spread: {100 * chip.frequency_spread():.1f} %")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    population = generate_population(1, seed=args.seed)
+    chip = population[0]
+    table = default_aging_table()
+    config = SimulationConfig(
+        lifetime_years=args.years, dark_fraction_min=args.dark, window_s=10.0,
+        seed=args.seed,
+    )
+    policy = POLICIES[args.policy]()
+    print(f"Simulating {chip.chip_id} under {policy.name} for {args.years} years...")
+    ctx = ChipContext(chip, table, dark_fraction_min=args.dark)
+    result = LifetimeSimulator(config).run(ctx, policy)
+
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["DTM events", result.total_dtm_events()],
+                ["avg temp rise (K)", f"{result.mean_temp_rise_k(AMBIENT_KELVIN):.1f}"],
+                ["chip fmax start/end (GHz)",
+                 f"{result.fmax_init_ghz.max():.2f} / "
+                 f"{result.chip_fmax_trajectory_ghz()[-1]:.2f}"],
+                ["avg fmax start/end (GHz)",
+                 f"{result.fmax_init_ghz.mean():.2f} / "
+                 f"{result.avg_fmax_trajectory_ghz()[-1]:.2f}"],
+                ["QoS violations", result.total_qos_violations()],
+            ],
+            title=f"{policy.name} on {chip.chip_id}",
+        )
+    )
+    if args.json:
+        save_results_json([result], args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        save_summary_csv([result], args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    config = SimulationConfig(
+        lifetime_years=args.years, dark_fraction_min=args.dark, window_s=10.0,
+        seed=args.seed,
+    )
+    print(
+        f"Campaign: {args.chips} chips x {args.years} years x "
+        f"{{vaa, hayat}} at >= {100 * args.dark:.0f} % dark..."
+    )
+    campaign = run_campaign(
+        [VAAManager(), HayatManager()],
+        num_chips=args.chips,
+        config=config,
+        population_seed=args.seed,
+        progress=(
+            (lambda policy, chip: print(f"  {policy} / {chip}"))
+            if args.workers == 1
+            else None
+        ),
+        workers=args.workers,
+    )
+    dtm = campaign.normalized_dtm_events("vaa", "hayat")
+    temp = campaign.normalized_temp_rise("vaa", "hayat")
+    aging = campaign.normalized_avg_fmax_aging("vaa", "hayat")
+    chip_aging = campaign.normalized_chip_fmax_aging("vaa", "hayat")
+    rows = [
+        ["DTM events", f"{dtm.mean():.3f}" if dtm.size else "n/a"],
+        ["temperature rise", f"{temp.mean():.3f}"],
+        ["avg-fmax aging rate", f"{aging.mean():.3f}" if aging.size else "n/a"],
+        ["chip-fmax aging rate", f"{chip_aging.mean():.3f}" if chip_aging.size else "n/a"],
+    ]
+    print()
+    print(
+        format_table(
+            ["metric (hayat / vaa)", "mean over chips"],
+            rows,
+            title="Normalized comparison (below 1.0 = Hayat better)",
+        )
+    )
+    if args.csv:
+        everything = [r for runs in campaign.results.values() for r in runs]
+        save_summary_csv(everything, args.csv)
+        print(f"wrote {args.csv}")
+    if args.report:
+        from repro.analysis import campaign_report
+
+        with open(args.report, "w") as handle:
+            handle.write(campaign_report(campaign))
+        print(f"wrote {args.report}")
+    return 0
+
+
+def _cmd_run_scenario(args) -> int:
+    from repro.sim import ScenarioError, load_scenario, run_scenario
+
+    try:
+        scenario = load_scenario(args.path)
+        name = scenario.get("name", args.path)
+        print(f"Running scenario {name!r}...")
+        campaign = run_scenario(
+            scenario,
+            progress=lambda policy, chip: print(f"  {policy} / {chip}"),
+        )
+    except ScenarioError as error:
+        print(f"scenario error: {error}")
+        return 2
+    print(f"done: policies {campaign.policies()}")
+    if args.csv:
+        everything = [r for runs in campaign.results.values() for r in runs]
+        save_summary_csv(everything, args.csv)
+        print(f"wrote {args.csv}")
+    if args.report:
+        from repro.analysis import campaign_report
+
+        with open(args.report, "w") as handle:
+            handle.write(campaign_report(campaign))
+        print(f"wrote {args.report}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import numpy as np
+
+    from repro.sim import SimulationConfig, sweep_dark_fractions
+
+    config = SimulationConfig(
+        lifetime_years=args.years, window_s=10.0, seed=args.seed
+    )
+    print(
+        f"Sweeping dark floors {args.fractions} over {args.chips} chips..."
+    )
+    sweep = sweep_dark_fractions(
+        [VAAManager(), HayatManager()],
+        fractions=args.fractions,
+        num_chips=args.chips,
+        config=config,
+        population_seed=args.seed,
+    )
+    dtm = sweep.metric("dtm", "vaa", "hayat")
+    temp = sweep.metric("temp", "vaa", "hayat")
+    aging = sweep.metric("avg_aging", "vaa", "hayat")
+    rows = []
+    for i, fraction in enumerate(args.fractions):
+        rows.append(
+            [
+                f"{100 * fraction:.1f} %",
+                f"{dtm[i]:.2f}" if np.isfinite(dtm[i]) else "n/a",
+                f"{temp[i]:.3f}",
+                f"{aging[i]:.3f}" if np.isfinite(aging[i]) else "n/a",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["min dark", "DTM (vs VAA)", "temp (vs VAA)", "avg aging (vs VAA)"],
+            rows,
+            title="Dark-silicon sweep (below 1.0 = Hayat better)",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "chip": _cmd_chip,
+        "simulate": _cmd_simulate,
+        "campaign": _cmd_campaign,
+        "run-scenario": _cmd_run_scenario,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Hayat: variation- and dark-silicon-aware run-time aging management.
+
+The paper's contribution, assembled from the substrates:
+
+* :mod:`weighting` — the empirical candidate-scoring function (Eq. 9)
+  with its early-/late-aging coefficient schedules,
+* :mod:`dcm` — dark-core-map selection policies, from the naive
+  contiguous map to Hayat's variation- and temperature-aware greedy map,
+* :mod:`estimation` — the online health-estimation flow of Fig. 5
+  (thermal prediction + 3D-table walk), with the paper's three duty-cycle
+  assumptions (generic / known / worst-case),
+* :mod:`mapper` — Algorithm 1: joint candidate evaluation and
+  thread-to-core assignment,
+* :mod:`manager` — the epoch-level entry point gluing DCM selection and
+  mapping together behind the policy interface the simulator drives.
+"""
+
+from repro.core.weighting import WeightingConfig, WeightingFunction
+from repro.core.dcm import (
+    contiguous_dcm,
+    temperature_optimized_dcm,
+    variation_aware_dcm,
+)
+from repro.core.boost import blind_boost, governed_boost
+from repro.core.estimation import DutyCycleAssumption, OnlineHealthEstimator
+from repro.core.critical import (
+    CriticalPlacement,
+    CriticalServiceError,
+    best_critical_frequency_ghz,
+    make_critical_thread,
+    serve_critical_thread,
+)
+from repro.core.mapper import HayatMapper, MappingError
+from repro.core.manager import HayatManager
+
+__all__ = [
+    "CriticalPlacement",
+    "CriticalServiceError",
+    "DutyCycleAssumption",
+    "best_critical_frequency_ghz",
+    "blind_boost",
+    "governed_boost",
+    "make_critical_thread",
+    "serve_critical_thread",
+    "HayatManager",
+    "HayatMapper",
+    "MappingError",
+    "OnlineHealthEstimator",
+    "WeightingConfig",
+    "WeightingFunction",
+    "contiguous_dcm",
+    "temperature_optimized_dcm",
+    "variation_aware_dcm",
+]

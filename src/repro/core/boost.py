@@ -1,0 +1,113 @@
+"""Thermally-governed frequency boost ("turbo") on top of a mapping.
+
+Section I cites Intel's Turbo Boost as a source of elevated temperature
+that aggravates NBTI aging.  The baseline policies in this library run
+threads *at* their required frequency; boosting spends leftover thermal
+headroom on extra throughput.  Two styles are provided:
+
+* :func:`governed_boost` — Hayat-style: raise the coolest-running busy
+  cores one DVFS step at a time while the *predicted* peak temperature
+  stays under ``Tsafe - margin``; stop before the headroom is gone.
+* :func:`blind_boost` — classic max-throughput turbo: every busy core
+  jumps straight to its safe maximum frequency and DTM cleans up the
+  mess.  This is the behaviour whose aging cost the paper warns about.
+
+Both respect each core's current safe frequency (quantized down to the
+ladder) — boosting never violates timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mapping.state import ChipState
+from repro.power.dvfs import FrequencyLadder
+from repro.thermal.predictor import ThermalPredictor
+from repro.util.constants import T_SAFE_KELVIN
+from repro.util.validation import check_positive
+
+
+def _mean_activity(state: ChipState) -> np.ndarray:
+    activity = np.zeros(state.num_cores)
+    assignment = state.assignment
+    for core in np.flatnonzero(assignment >= 0):
+        activity[core] = state.threads[assignment[core]].mean_activity
+    return activity
+
+
+def blind_boost(
+    state: ChipState,
+    fmax_now_ghz: np.ndarray,
+    ladder: FrequencyLadder | None = None,
+) -> int:
+    """Raise every busy core to its safe maximum; returns cores boosted.
+
+    Thermally blind — the Turbo-Boost-style behaviour the paper's
+    introduction calls out as an aging aggravator.
+    """
+    ladder = ladder if ladder is not None else FrequencyLadder()
+    fmax_now_ghz = np.asarray(fmax_now_ghz, dtype=float)
+    boosted = 0
+    for core in np.flatnonzero(state.assignment >= 0):
+        ceiling = float(ladder.quantize_down(fmax_now_ghz[core]))
+        if ceiling > state.freq_ghz[core] + 1e-12:
+            state.set_frequency(int(core), ceiling)
+            boosted += 1
+    return boosted
+
+
+def governed_boost(
+    state: ChipState,
+    fmax_now_ghz: np.ndarray,
+    predictor: ThermalPredictor,
+    tsafe_k: float = T_SAFE_KELVIN,
+    margin_k: float = 4.0,
+    ladder: FrequencyLadder | None = None,
+    max_steps: int = 256,
+) -> int:
+    """Greedy thermally-governed boost; returns DVFS steps applied.
+
+    One step at a time: pick the busy core with boost headroom whose
+    predicted temperature is lowest, raise it one ladder step, and keep
+    the *predicted* peak below ``tsafe - margin``.  A step that would
+    cross the line is reverted and its core retired from consideration.
+    """
+    check_positive("margin_k", margin_k)
+    ladder = ladder if ladder is not None else FrequencyLadder()
+    fmax_now_ghz = np.asarray(fmax_now_ghz, dtype=float)
+    limit = tsafe_k - margin_k
+    activity = _mean_activity(state)
+    retired: set[int] = set()
+    applied = 0
+
+    for _ in range(max_steps):
+        temps = predictor.predict(
+            state.freq_ghz, activity, state.powered_on
+        )
+        if temps.max() > limit:
+            return applied
+        candidates = [
+            int(core)
+            for core in np.flatnonzero(state.assignment >= 0)
+            if core not in retired
+            and ladder.quantize_down(fmax_now_ghz[core])
+            > state.freq_ghz[core] + 1e-12
+        ]
+        if not candidates:
+            return applied
+        core = min(candidates, key=lambda c: temps[c])
+        old = float(state.freq_ghz[core])
+        new = float(
+            min(
+                ladder.quantize_up(old + 1e-9),
+                ladder.quantize_down(fmax_now_ghz[core]),
+            )
+        )
+        state.set_frequency(core, new)
+        after = predictor.predict(state.freq_ghz, activity, state.powered_on)
+        if after.max() > limit:
+            state.set_frequency(core, old)
+            retired.add(core)
+        else:
+            applied += 1
+    return applied

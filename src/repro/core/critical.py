@@ -1,0 +1,118 @@
+"""Serving critical single-threaded work on preserved fast cores.
+
+Section II's secondary observation: high-frequency cores "should only be
+used to fulfill the deadline constraints of a critical (single-threaded)
+application" — which is why Hayat keeps them dark and fenced.  This
+module is the cash-out of that policy: when a latency-critical,
+high-ILP thread arrives, the service wakes the fastest available core
+(fenced reserves included — they are reserved precisely for this) and
+runs the thread at the core's full current safe frequency.
+
+A chip managed by Hayat can honour a much higher critical frequency late
+in life than one managed by VAA, because its fastest cores never aged —
+the Fig. 9 preservation expressed as delivered service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapping.state import ChipState
+from repro.power.dvfs import FrequencyLadder
+from repro.workload.application import ThreadSpec
+from repro.workload.traces import PhaseTrace
+
+
+class CriticalServiceError(RuntimeError):
+    """No core can host the critical thread."""
+
+
+@dataclass(frozen=True)
+class CriticalPlacement:
+    """Result of serving a critical request."""
+
+    thread_index: int
+    core: int
+    freq_ghz: float
+    woke_dark_core: bool
+
+
+def make_critical_thread(
+    name: str,
+    fmin_ghz: float,
+    rng: np.random.Generator,
+    duty_cycle: float = 0.95,
+    ipc: float = 2.0,
+) -> ThreadSpec:
+    """A single-threaded, latency-critical, high-ILP thread spec."""
+    if fmin_ghz <= 0:
+        raise ValueError("fmin_ghz must be positive")
+    trace = PhaseTrace(0.9, 0.05, 5.0, rng)
+    return ThreadSpec(
+        app_name=name,
+        thread_index=0,
+        fmin_ghz=float(fmin_ghz),
+        duty_cycle=float(duty_cycle),
+        ipc=float(ipc),
+        trace=trace,
+    )
+
+
+def best_critical_frequency_ghz(
+    state: ChipState,
+    fmax_now_ghz: np.ndarray,
+    ladder: FrequencyLadder | None = None,
+) -> float:
+    """The highest frequency the chip can offer a critical thread now.
+
+    Considers every idle core regardless of power state (waking a dark
+    core — fenced or not — is exactly what the reserve exists for);
+    quantized down to the DVFS ladder when one is supplied.
+    """
+    fmax_now_ghz = np.asarray(fmax_now_ghz, dtype=float)
+    idle = state.assignment < 0
+    if not idle.any():
+        raise CriticalServiceError("no idle core for critical work")
+    best = float(fmax_now_ghz[idle].max())
+    if ladder is not None:
+        best = float(ladder.quantize_down(best))
+    return best
+
+
+def serve_critical_thread(
+    state: ChipState,
+    thread: ThreadSpec,
+    fmax_now_ghz: np.ndarray,
+    ladder: FrequencyLadder | None = None,
+) -> CriticalPlacement:
+    """Place a critical thread on the fastest idle core at full speed.
+
+    Unlike throughput threads (which run *at* their required frequency),
+    critical threads run at the host core's maximum safe frequency —
+    deadlines reward every megahertz.  Raises
+    :class:`CriticalServiceError` when no idle core meets the thread's
+    minimum frequency.
+    """
+    fmax_now_ghz = np.asarray(fmax_now_ghz, dtype=float)
+    idle = np.flatnonzero(state.assignment < 0)
+    if idle.size == 0:
+        raise CriticalServiceError("no idle core for critical work")
+    core = int(idle[np.argmax(fmax_now_ghz[idle])])
+    freq = float(fmax_now_ghz[core])
+    if ladder is not None:
+        freq = float(ladder.quantize_down(freq))
+    if freq < thread.fmin_ghz:
+        raise CriticalServiceError(
+            f"fastest available core offers {freq:.2f} GHz, "
+            f"critical thread needs {thread.fmin_ghz:.2f} GHz"
+        )
+    woke = not bool(state.powered_on[core])
+    if woke:
+        state.power_on(core)
+    thread_index = state.add_thread(thread)
+    state.place(thread_index, core, freq)
+    return CriticalPlacement(
+        thread_index=thread_index, core=core, freq_ghz=freq, woke_dark_core=woke
+    )

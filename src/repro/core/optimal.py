@@ -1,0 +1,161 @@
+"""Exhaustive reference solver for the joint patterning/mapping problem.
+
+Section IV-A notes the problem "can be formulated as an Integer Linear
+Programming (ILP) problem, but it is not feasible to be evaluated at run
+time".  This module provides the ground truth for *small* instances: an
+exhaustive search over (core subset, thread assignment) pairs that
+maximizes the Eq. 6 objective — the chip-wide sum of predicted
+next-epoch healths — subject to the Eq. 4 thermal constraint and each
+thread's frequency requirement.  It exists to quantify how close
+Algorithm 1's greedy gets to optimal (see
+``tests/test_core_optimal.py``), never to run online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, permutations
+
+import numpy as np
+
+from repro.core.estimation import OnlineHealthEstimator
+from repro.util.constants import T_SAFE_KELVIN
+from repro.workload.application import ThreadSpec
+
+#: Refuse instances whose search space exceeds this many assignments —
+#: the solver is a test oracle, not a production path.
+MAX_ASSIGNMENTS = 2_000_000
+
+
+@dataclass(frozen=True)
+class OptimalSolution:
+    """The best placement found by exhaustive search."""
+
+    assignment: dict[int, int]  # thread index -> core
+    objective: float  # sum of predicted next-epoch healths
+    feasible_evaluated: int
+
+
+def _search_space_size(num_cores: int, num_threads: int) -> int:
+    from math import comb, factorial
+
+    return comb(num_cores, num_threads) * factorial(num_threads)
+
+
+def optimal_mapping(
+    threads: list[ThreadSpec],
+    fmax_now_ghz: np.ndarray,
+    health_now: np.ndarray,
+    estimator: OnlineHealthEstimator,
+    epoch_years: float,
+    tsafe_k: float = T_SAFE_KELVIN,
+) -> OptimalSolution:
+    """Exhaustively solve the joint subset-and-assignment problem.
+
+    Every subset of ``len(threads)`` cores is considered as the
+    powered-on set (the rest dark); every assignment of threads to the
+    subset is scored by the Eq. 6 objective under the same online
+    estimators Algorithm 1 uses, so the comparison isolates *search*
+    quality, not model differences.
+
+    Raises ``ValueError`` when the instance is too large or infeasible.
+    """
+    n = len(fmax_now_ghz)
+    k = len(threads)
+    if k == 0:
+        raise ValueError("need at least one thread")
+    if k > n:
+        raise ValueError("more threads than cores")
+    size = _search_space_size(n, k)
+    if size > MAX_ASSIGNMENTS:
+        raise ValueError(
+            f"search space has {size} assignments (max {MAX_ASSIGNMENTS}); "
+            "use a smaller instance — this is a test oracle"
+        )
+    fmax_now_ghz = np.asarray(fmax_now_ghz, dtype=float)
+    health_now = np.asarray(health_now, dtype=float)
+
+    best: OptimalSolution | None = None
+    evaluated = 0
+    thread_fmin = np.array([t.fmin_ghz for t in threads])
+    thread_act = np.array([t.mean_activity for t in threads])
+    thread_duty = np.array([t.duty_cycle for t in threads])
+
+    for subset in combinations(range(n), k):
+        cores = np.array(subset)
+        # Fast infeasibility cut: sorted capacities vs sorted demands.
+        if (np.sort(fmax_now_ghz[cores]) < np.sort(thread_fmin)).any():
+            continue
+        batch_freq = []
+        batch_act = []
+        batch_duty = []
+        batch_perm = []
+        for perm in permutations(range(k)):
+            assigned_fmin = thread_fmin[list(perm)]
+            if (fmax_now_ghz[cores] < assigned_fmin).any():
+                continue
+            freq = np.zeros(n)
+            act = np.zeros(n)
+            duty = np.zeros(n)
+            freq[cores] = assigned_fmin
+            act[cores] = thread_act[list(perm)]
+            duty[cores] = thread_duty[list(perm)]
+            batch_freq.append(freq)
+            batch_act.append(act)
+            batch_duty.append(duty)
+            batch_perm.append(perm)
+        if not batch_perm:
+            continue
+        on = np.zeros(n, dtype=bool)
+        on[cores] = True
+        on_b = np.broadcast_to(on, (len(batch_perm), n))
+        temps = estimator.predict_temperature_batch(
+            np.array(batch_freq), np.array(batch_act), on_b
+        )
+        ok = temps.max(axis=1) <= tsafe_k
+        if not ok.any():
+            continue
+        keep = np.flatnonzero(ok)
+        healths = estimator.estimate_next_health(
+            temps[keep], np.array(batch_duty)[keep], health_now, epoch_years
+        )
+        objectives = healths.sum(axis=1)
+        evaluated += len(keep)
+        winner = int(np.argmax(objectives))
+        if best is None or objectives[winner] > best.objective:
+            perm = batch_perm[keep[winner]]
+            assignment = {
+                int(thread): int(cores[pos]) for pos, thread in enumerate(perm)
+            }
+            best = OptimalSolution(
+                assignment=assignment,
+                objective=float(objectives[winner]),
+                feasible_evaluated=evaluated,
+            )
+    if best is None:
+        raise ValueError("no thermally- and frequency-feasible assignment exists")
+    return OptimalSolution(
+        assignment=best.assignment,
+        objective=best.objective,
+        feasible_evaluated=evaluated,
+    )
+
+
+def objective_of_state(
+    state,
+    health_now: np.ndarray,
+    estimator: OnlineHealthEstimator,
+    epoch_years: float,
+) -> float:
+    """Eq. 6 objective of an already-built chip state (for comparison)."""
+    activity = np.zeros(state.num_cores)
+    assignment = state.assignment
+    for core in np.flatnonzero(assignment >= 0):
+        activity[core] = state.threads[assignment[core]].mean_activity
+    temps = estimator.predict_temperature(
+        state.freq_ghz, activity, state.powered_on
+    )
+    healths = estimator.estimate_next_health(
+        temps, state.duty_vector(), np.asarray(health_now, dtype=float), epoch_years
+    )
+    return float(healths.sum())

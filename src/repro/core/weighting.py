@@ -1,0 +1,112 @@
+"""The candidate weighting function of Algorithm 1 (Eq. 9).
+
+    w = min(wmax, alpha / (fmax_i,t - freq)) + beta * H_cand,next / H_cand,t
+
+A higher weight means a better candidate.  The first term rewards tight
+frequency matching: placing a thread on a core whose (aged) maximum
+frequency barely exceeds the thread's requirement saves faster cores for
+critical single-threaded work and for late-lifetime slack; the term is
+capped at ``wmax`` as the gap closes.  (The paper's equation prints
+``max``, but its own text — "limited to a certain maximum weight
+``wmax``" — and any sensible reading require the cap, i.e. ``min``.)
+The second term rewards candidates whose predicted next-epoch health is
+close to their current health, i.e. placements that age the chip least.
+
+The coefficients are scheduled over the chip's life, as found empirically
+in the paper (Section V): early aging is time-/duty-critical and favours
+frequency balancing (``alpha=0.6, beta=1``); late aging is temperature-
+critical and favours health preservation (``alpha=4, beta=0.3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class WeightingConfig:
+    """Coefficient schedule for Eq. 9.
+
+    Parameters
+    ----------
+    alpha_early, beta_early:
+        Coefficients during the early-aging phase (paper: 0.6 and 1.0).
+    alpha_late, beta_late:
+        Coefficients during the late-aging phase (paper: 4.0 and 0.3).
+    wmax:
+        Cap on the frequency-matching term (paper: 10).
+    phase_switch_years:
+        Chip age at which the schedule flips from early to late.  The
+        paper separates "time-critical early aging" from "temperature-
+        critical late aging" around the knee of the y^(1/6) envelope;
+        3 years is where the Fig. 1(b) curves visibly fan out.
+    """
+
+    alpha_early: float = 0.6
+    beta_early: float = 1.0
+    alpha_late: float = 4.0
+    beta_late: float = 0.3
+    wmax: float = 10.0
+    phase_switch_years: float = 3.0
+
+    def __post_init__(self) -> None:
+        check_positive("alpha_early", self.alpha_early)
+        check_nonnegative("beta_early", self.beta_early)
+        check_positive("alpha_late", self.alpha_late)
+        check_nonnegative("beta_late", self.beta_late)
+        check_positive("wmax", self.wmax)
+        check_nonnegative("phase_switch_years", self.phase_switch_years)
+
+    def coefficients(self, elapsed_years: float) -> tuple[float, float]:
+        """``(alpha, beta)`` in effect at the given chip age."""
+        if elapsed_years < self.phase_switch_years:
+            return self.alpha_early, self.beta_early
+        return self.alpha_late, self.beta_late
+
+
+class WeightingFunction:
+    """Evaluates Eq. 9 for batches of candidates."""
+
+    def __init__(self, config: WeightingConfig | None = None):
+        self.config = config if config is not None else WeightingConfig()
+
+    def frequency_term(self, fmax_ghz, required_ghz, elapsed_years: float):
+        """The capped ``alpha / (fmax - freq)`` term (broadcasts).
+
+        Candidates whose safe frequency does not exceed the requirement
+        get the full ``wmax`` (the gap is closed); infeasible candidates
+        are the mapper's job to exclude before scoring.
+        """
+        alpha, _ = self.config.coefficients(elapsed_years)
+        fmax_ghz = np.asarray(fmax_ghz, dtype=float)
+        required_ghz = np.asarray(required_ghz, dtype=float)
+        gap = fmax_ghz - required_ghz
+        with np.errstate(divide="ignore"):
+            raw = np.where(gap > 0, alpha / np.maximum(gap, 1e-12), np.inf)
+        return np.minimum(self.config.wmax, raw)
+
+    def health_term(self, health_next, health_now, elapsed_years: float):
+        """The ``beta * H_next / H_now`` aging-preservation term."""
+        _, beta = self.config.coefficients(elapsed_years)
+        health_next = np.asarray(health_next, dtype=float)
+        health_now = np.asarray(health_now, dtype=float)
+        if (health_now <= 0).any():
+            raise ValueError("current health must be positive")
+        return beta * health_next / health_now
+
+    def weight(
+        self,
+        fmax_ghz,
+        required_ghz,
+        health_next,
+        health_now,
+        elapsed_years: float,
+    ):
+        """Total Eq. 9 weight; higher is better."""
+        return self.frequency_term(
+            fmax_ghz, required_ghz, elapsed_years
+        ) + self.health_term(health_next, health_now, elapsed_years)

@@ -1,0 +1,13 @@
+"""Dynamic thermal management: the last line of defence.
+
+When a core crosses ``Tsafe`` (95 C) the DTM migrates its thread to the
+coldest eligible core — one below ``Tsafe - 10 C`` whose safe frequency
+meets the thread's requirement — or throttles the core if no such target
+exists (paper, Section V).  Every intervention is counted; normalized
+DTM event counts are the Fig. 7 metric.
+"""
+
+from repro.dtm.policy import DTMPolicy, DTMReport
+from repro.dtm.proactive import ProactiveDTMPolicy
+
+__all__ = ["DTMPolicy", "DTMReport", "ProactiveDTMPolicy"]

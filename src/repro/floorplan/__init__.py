@@ -1,0 +1,13 @@
+"""Chip floorplan: the physical layout of cores on the die.
+
+The paper's platform is an 8x8 grid of Alpha 21264-class cores, each
+1.70 x 1.75 mm^2 (Fig. 2 caption).  The floorplan provides geometry queries
+(core centers, pairwise distances, mesh adjacency) consumed by the
+variation model (spatial correlation), the thermal model (lateral
+conductances), and the DCM policies (contiguity, spreading).
+"""
+
+from repro.floorplan.geometry import CoreGeometry
+from repro.floorplan.grid import Floorplan, paper_floorplan
+
+__all__ = ["CoreGeometry", "Floorplan", "paper_floorplan"]

@@ -1,0 +1,10 @@
+"""Shared chip-state representation: dark core maps and thread mappings.
+
+Both the Hayat manager, the baselines, and DTM mutate the same state
+object, so enforcement of the structural constraints (one thread per
+core, threads only on powered-on cores — Eq. 5) lives here once.
+"""
+
+from repro.mapping.state import ChipState, DarkCoreMap
+
+__all__ = ["ChipState", "DarkCoreMap"]

@@ -1,0 +1,15 @@
+"""Network-on-chip substrate: the cost of spreading threads apart.
+
+The VAA baseline descends from Fattah et al.'s mapper, whose objective
+is *contiguity* — packed regions minimize on-chip communication.  Hayat
+deliberately spreads threads for thermal/aging reasons, so a fair
+system view needs the other side of that trade: this package models a
+2D-mesh NoC with dimension-ordered (XY) routing and computes the
+communication cost, energy, and congestion of any mapping.
+"""
+
+from repro.noc.topology import MeshTopology
+from repro.noc.traffic import traffic_matrix
+from repro.noc.metrics import NocReport, evaluate_mapping
+
+__all__ = ["MeshTopology", "NocReport", "evaluate_mapping", "traffic_matrix"]

@@ -1,0 +1,53 @@
+"""Mapping-level NoC metrics: cost, energy, congestion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapping.state import ChipState
+from repro.noc.topology import MeshTopology
+from repro.noc.traffic import traffic_matrix
+
+#: Energy to move one GB across one mesh hop (router + link), in mJ.
+#: Representative of scaled-node NoCs (~1 pJ/bit-hop).
+ENERGY_MJ_PER_GB_HOP = 8.0
+
+
+@dataclass(frozen=True)
+class NocReport:
+    """Communication metrics of one mapping."""
+
+    #: Sum over flows of rate x hops (GB/s-hops) — the Fattah objective.
+    weighted_hops: float
+    #: Total traffic injected (GB/s).
+    total_traffic: float
+    #: Average hops per unit of traffic.
+    mean_hops: float
+    #: Largest single-link load (GB/s) — the congestion proxy.
+    max_link_load: float
+    #: NoC power implied by the traffic (W).
+    noc_power_w: float
+
+
+def evaluate_mapping(
+    state: ChipState,
+    topology: MeshTopology,
+    nominal_ghz: float = 3.0,
+) -> NocReport:
+    """Compute the NoC metrics of a chip state's current mapping."""
+    traffic = traffic_matrix(state, nominal_ghz)
+    hops = topology.hop_matrix
+    weighted = float((traffic * hops).sum())
+    total = float(traffic.sum())
+    loads = topology.link_loads(traffic)
+    # GB/s x hops x mJ/GB-hop = mW; report watts.
+    power_w = weighted * ENERGY_MJ_PER_GB_HOP * 1e-3
+    return NocReport(
+        weighted_hops=weighted,
+        total_traffic=total,
+        mean_hops=weighted / total if total > 0 else 0.0,
+        max_link_load=float(loads.max()) if loads.size else 0.0,
+        noc_power_w=power_w,
+    )

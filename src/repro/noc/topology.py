@@ -1,0 +1,100 @@
+"""2D-mesh NoC topology with dimension-ordered (XY) routing.
+
+One router per core tile, links between mesh neighbors.  XY routing is
+deterministic: a flit first travels along X to the destination column,
+then along Y — the standard deadlock-free choice, and the one Fattah-
+style mappers assume when they optimize hop counts.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.floorplan import Floorplan
+
+
+class MeshTopology:
+    """Routing and link bookkeeping for a mesh the size of a floorplan.
+
+    Directed links are indexed: for each ordered neighbor pair
+    ``(a, b)`` there is one link id.
+    """
+
+    def __init__(self, floorplan: Floorplan):
+        self.floorplan = floorplan
+        self.num_nodes = floorplan.num_cores
+        links = []
+        for a in range(self.num_nodes):
+            for b in floorplan.neighbors(a):
+                links.append((a, b))
+        self._links = links
+        self._link_index = {pair: i for i, pair in enumerate(links)}
+
+    @property
+    def num_links(self) -> int:
+        """Number of directed links."""
+        return len(self._links)
+
+    @property
+    def links(self) -> list[tuple[int, int]]:
+        """Directed links as ``(from_node, to_node)`` pairs (copy)."""
+        return list(self._links)
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Manhattan hop distance (XY routes are minimal)."""
+        return self.floorplan.manhattan_distance(src, dst)
+
+    @cached_property
+    def hop_matrix(self) -> np.ndarray:
+        """All-pairs hop counts."""
+        n = self.num_nodes
+        cols = self.floorplan.cols
+        rows_idx, cols_idx = np.divmod(np.arange(n), cols)
+        return np.abs(rows_idx[:, None] - rows_idx[None, :]) + np.abs(
+            cols_idx[:, None] - cols_idx[None, :]
+        )
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Link ids of the XY route from ``src`` to ``dst``.
+
+        Empty for ``src == dst``.  X (column) correction first, then Y.
+        """
+        fp = self.floorplan
+        row_s, col_s = fp.position(src)
+        row_d, col_d = fp.position(dst)
+        path = []
+        node = src
+        while col_s != col_d:
+            step = 1 if col_d > col_s else -1
+            nxt = fp.index(row_s, col_s + step)
+            path.append(self._link_index[(node, nxt)])
+            node = nxt
+            col_s += step
+        while row_s != row_d:
+            step = 1 if row_d > row_s else -1
+            nxt = fp.index(row_s + step, col_s)
+            path.append(self._link_index[(node, nxt)])
+            node = nxt
+            row_s += step
+        return path
+
+    def link_loads(self, traffic: np.ndarray) -> np.ndarray:
+        """Per-link load for a node-to-node traffic matrix.
+
+        ``traffic[i, j]`` is the rate from node ``i`` to ``j`` (any
+        consistent unit); the result sums every flow over its XY route.
+        """
+        traffic = np.asarray(traffic, dtype=float)
+        if traffic.shape != (self.num_nodes, self.num_nodes):
+            raise ValueError("traffic matrix shape mismatch")
+        if (traffic < 0).any():
+            raise ValueError("traffic rates must be non-negative")
+        loads = np.zeros(self.num_links)
+        for src, dst in zip(*np.nonzero(traffic)):
+            if src == dst:
+                continue
+            for link in self.route(int(src), int(dst)):
+                loads[link] += traffic[src, dst]
+        return loads

@@ -1,0 +1,68 @@
+"""Application traffic: who talks to whom, and how much.
+
+Threads of one application exchange data; threads of different
+applications do not (shared-nothing mixes).  Within an application the
+pattern is all-to-all at the profile's ``comm_intensity`` (GB/s per
+ordered pair, scaled by operating frequency) — a deliberate
+simplification that preserves what the mapping cost cares about: total
+intra-application traffic and its spatial footprint.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.mapping.state import ChipState
+
+
+def traffic_matrix(state: ChipState, nominal_ghz: float = 3.0) -> np.ndarray:
+    """Core-to-core traffic (GB/s) implied by the current mapping.
+
+    Unmapped threads contribute nothing.  Rates scale with the mean of
+    the two endpoints' operating frequencies relative to ``nominal_ghz``
+    (communication tracks execution speed).
+    """
+    if nominal_ghz <= 0:
+        raise ValueError("nominal_ghz must be positive")
+    n = state.num_cores
+    traffic = np.zeros((n, n))
+
+    by_app: dict[str, list[int]] = defaultdict(list)
+    assignment = state.assignment
+    for core in np.flatnonzero(assignment >= 0):
+        thread = state.threads[assignment[core]]
+        by_app[thread.app_name].append(int(core))
+
+    freq = state.freq_ghz
+    for app_name, cores in by_app.items():
+        if len(cores) < 2:
+            continue
+        # All threads of one app share the profile's intensity; read it
+        # off any member thread via its duty-cycle-carrying spec.
+        some_thread = state.threads[assignment[cores[0]]]
+        intensity = _intensity_of(state, app_name)
+        del some_thread
+        for a in cores:
+            for b in cores:
+                if a == b:
+                    continue
+                speed = 0.5 * (freq[a] + freq[b]) / nominal_ghz
+                traffic[a, b] += intensity * speed
+    return traffic
+
+
+def _intensity_of(state: ChipState, app_name: str) -> float:
+    """Communication intensity of an application, from its threads.
+
+    ThreadSpec does not carry the profile object, so the intensity is
+    resolved from the profile registry via the app name (format
+    ``"<profile>#<instance>"``); unknown names fall back to a small
+    default so synthetic test threads still work.
+    """
+    from repro.workload.profiles import PARSEC_PROFILES
+
+    base = app_name.split("#", 1)[0]
+    profile = PARSEC_PROFILES.get(base)
+    return profile.comm_intensity if profile is not None else 0.1

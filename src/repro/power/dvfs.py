@@ -1,0 +1,77 @@
+"""Discrete core-level DVFS: the frequency ladder.
+
+The paper assumes "core-level dynamic frequency scaling support" —
+real cores offer a discrete grid of P-states, not a continuum.  The
+ladder quantizes requested frequencies upward (a thread's throughput
+constraint must still be met) and safe frequencies downward (a core may
+only run at a step it can close timing at).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+class FrequencyLadder:
+    """A uniform grid of supported core frequencies.
+
+    Parameters
+    ----------
+    min_ghz, max_ghz:
+        Ladder span; requests outside are clamped to the span edge by
+        the respective quantization direction.
+    step_ghz:
+        P-state granularity (100 MHz is typical).
+    """
+
+    def __init__(self, min_ghz: float = 0.4, max_ghz: float = 4.4, step_ghz: float = 0.1):
+        check_positive("min_ghz", min_ghz)
+        check_positive("step_ghz", step_ghz)
+        if max_ghz <= min_ghz:
+            raise ValueError("max_ghz must exceed min_ghz")
+        self.min_ghz = float(min_ghz)
+        self.max_ghz = float(max_ghz)
+        self.step_ghz = float(step_ghz)
+        count = int(np.floor((max_ghz - min_ghz) / step_ghz + 1e-9)) + 1
+        # Round to clean values: accumulated float drift (0.4 + 2*0.1 =
+        # 0.6000000000000001) would otherwise leak into comparisons.
+        self._steps = np.round(min_ghz + step_ghz * np.arange(count), 9)
+
+    @property
+    def steps_ghz(self) -> np.ndarray:
+        """All supported frequencies, ascending (copy)."""
+        return self._steps.copy()
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def quantize_up(self, freq_ghz):
+        """Smallest ladder step >= the request (meets a throughput
+        constraint); requests above the ladder clamp to the top step.
+        Broadcasts over arrays."""
+        freq_ghz = np.asarray(freq_ghz, dtype=float)
+        if (freq_ghz < 0).any():
+            raise ValueError("frequencies must be non-negative")
+        idx = np.searchsorted(self._steps, freq_ghz - 1e-12, side="left")
+        idx = np.clip(idx, 0, len(self._steps) - 1)
+        out = self._steps[idx]
+        return float(out) if out.ndim == 0 else out
+
+    def quantize_down(self, freq_ghz):
+        """Largest ladder step <= the limit (respects a safe-frequency
+        ceiling); limits below the ladder clamp to the bottom step.
+        Broadcasts over arrays."""
+        freq_ghz = np.asarray(freq_ghz, dtype=float)
+        if (freq_ghz < 0).any():
+            raise ValueError("frequencies must be non-negative")
+        idx = np.searchsorted(self._steps, freq_ghz + 1e-12, side="right") - 1
+        idx = np.clip(idx, 0, len(self._steps) - 1)
+        out = self._steps[idx]
+        return float(out) if out.ndim == 0 else out
+
+    def feasible(self, required_ghz: float, safe_ghz: float) -> bool:
+        """True when some ladder step meets the requirement under the
+        safe-frequency ceiling."""
+        return self.quantize_up(required_ghz) <= self.quantize_down(safe_ghz) + 1e-12

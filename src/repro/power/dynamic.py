@@ -1,0 +1,58 @@
+"""Dynamic (switching) power of an active core.
+
+``p_dyn = C_eff * activity * Vdd^2 * f`` — with the chip-level supply
+voltage fixed (the paper applies a chip-level Vdd constraint and
+*core-level frequency scaling*), dynamic power is linear in frequency and
+in the workload's switched-capacitance activity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+class DynamicPowerModel:
+    """Frequency- and activity-proportional dynamic power.
+
+    Parameters
+    ----------
+    ceff_nf:
+        Effective switched capacitance of a core at activity 1.0, in
+        nanofarads.  The default is calibrated so a fully-active core at
+        3 GHz and 1.13 V dissipates ~3.8 W of dynamic power — an
+        Alpha 21264-class core scaled to 11 nm per the McPAT-based setup
+        of the paper (which, with 1.18 W leakage, makes a 64-core chip
+        far exceed any realistic TDP, i.e. dark silicon is mandatory).
+    vdd:
+        Chip-level supply voltage in volts.
+    """
+
+    def __init__(self, ceff_nf: float = 1.0, vdd: float = 1.13):
+        self.ceff_nf = check_positive("ceff_nf", ceff_nf)
+        self.vdd = check_positive("vdd", vdd)
+
+    def power_w(self, freq_ghz, activity=1.0):
+        """Dynamic power in watts (broadcasts over arrays).
+
+        Parameters
+        ----------
+        freq_ghz:
+            Operating frequency (GHz); 0 for an idle or gated core.
+        activity:
+            Workload switching-activity factor in [0, 1]; the product of
+            utilization and the thread's switched-capacitance ratio.
+        """
+        freq_ghz = np.asarray(freq_ghz, dtype=float)
+        activity = np.asarray(activity, dtype=float)
+        if (freq_ghz < 0).any():
+            raise ValueError("freq_ghz must be non-negative")
+        if (activity < 0).any() or (activity > 1).any():
+            raise ValueError("activity must lie in [0, 1]")
+        # nF * GHz = 1e-9 F * 1e9 Hz = F*Hz, so units work out to watts.
+        power = self.ceff_nf * activity * self.vdd**2 * freq_ghz
+        return float(power) if power.ndim == 0 else power
+
+    def __repr__(self) -> str:
+        return f"DynamicPowerModel(ceff_nf={self.ceff_nf}, vdd={self.vdd})"

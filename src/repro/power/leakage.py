@@ -1,0 +1,116 @@
+"""Subthreshold leakage with temperature and variation dependence.
+
+The paper's setup: nominal subthreshold leakage of 1.18 W per powered-on
+core, 0.019 W residual in power-gated mode, a McPAT-style temperature-
+dependent leakage increase applied on top of the variation-dependent
+leakage (Section V), and an exponential dependence on the variation-
+shifted threshold voltage (Eq. 2).
+
+Temperature dependence uses the exponential fit form
+``L(T) = L(T_ref) * exp(beta * (T - T_ref))`` that thermal-management
+simulators (McPAT/HotSpot-based flows) use in this operating window;
+published fits put ``beta`` between roughly 0.008 and 0.025 per kelvin.
+The fit keeps the leakage-temperature feedback loop subcritical across
+the whole policy space — including the deliberately hotspot-heavy
+contiguous-DCM baseline — while preserving the qualitative behaviour the
+paper exploits (hot clusters pay compounding leakage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+#: Reference junction temperature (K) at which the nominal 1.18 W leakage
+#: of the paper's setup is defined (chip operating point, ~330 K = 57 C).
+REFERENCE_TEMP_K = 330.0
+
+
+class LeakageModel:
+    """Per-core leakage power as a function of temperature and variation.
+
+    Parameters
+    ----------
+    nominal_w:
+        Subthreshold leakage of a nominal core at the reference
+        temperature (1.18 W in the paper, Section V).
+    gated_w:
+        Residual leakage of a power-gated core (0.019 W in the paper).
+        Gated leakage is modeled as temperature-independent: it is
+        dominated by the sleep-transistor stack, two orders of magnitude
+        below active leakage.
+    beta_per_k:
+        Exponential temperature coefficient of leakage (1/K); 0.014
+        roughly doubles leakage every 50 K around the operating point.
+    fit_limit_k:
+        Upper end of the exponential fit's validity range.  Above this
+        junction temperature the factor saturates: the fit is only
+        calibrated up to there, silicon above ~150 C is outside any
+        operating specification, and DTM intervenes 50 K earlier — the
+        cap merely keeps transient excursions of *candidate* (not
+        enacted) configurations numerically bounded.
+    vth_nominal, subthreshold_slope:
+        Retained for the variation model's Vth-to-leakage mapping so the
+        power and variation layers agree on device parameters.
+    """
+
+    def __init__(
+        self,
+        nominal_w: float = 1.18,
+        gated_w: float = 0.019,
+        beta_per_k: float = 0.014,
+        fit_limit_k: float = 425.0,
+        vth_nominal: float = 0.32,
+        subthreshold_slope: float = 1.8,
+    ):
+        self.nominal_w = check_positive("nominal_w", nominal_w)
+        self.gated_w = check_positive("gated_w", gated_w)
+        self.beta_per_k = check_positive("beta_per_k", beta_per_k)
+        self.fit_limit_k = check_positive("fit_limit_k", fit_limit_k)
+        if self.fit_limit_k <= REFERENCE_TEMP_K:
+            raise ValueError("fit_limit_k must exceed the reference temperature")
+        self.vth_nominal = check_positive("vth_nominal", vth_nominal)
+        self.subthreshold_slope = check_positive(
+            "subthreshold_slope", subthreshold_slope
+        )
+
+    def temperature_factor(self, temp_k):
+        """Leakage multiplier relative to the reference temperature.
+
+        Exactly 1.0 at ``T = REFERENCE_TEMP_K``; exponential in the
+        temperature rise above it, saturating at ``fit_limit_k``.
+        """
+        temp_k = np.asarray(temp_k, dtype=float)
+        if (temp_k <= 0).any():
+            raise ValueError("temperature must be positive kelvin")
+        clipped = np.minimum(temp_k, self.fit_limit_k)
+        factor = np.exp(self.beta_per_k * (clipped - REFERENCE_TEMP_K))
+        return float(factor) if factor.ndim == 0 else factor
+
+    def power_w(self, temp_k, variation_scale=1.0, powered_on=True):
+        """Leakage power in watts (broadcasts over arrays).
+
+        Parameters
+        ----------
+        temp_k:
+            Junction temperature(s) in kelvin.
+        variation_scale:
+            Manufacturing multiplier from :attr:`Chip.leakage_scale`.
+        powered_on:
+            Boolean (array); gated cores draw only :attr:`gated_w`.
+        """
+        temp_k = np.asarray(temp_k, dtype=float)
+        variation_scale = np.asarray(variation_scale, dtype=float)
+        powered_on = np.asarray(powered_on, dtype=bool)
+        if (variation_scale <= 0).any():
+            raise ValueError("variation_scale must be positive")
+        active = self.nominal_w * variation_scale * self.temperature_factor(temp_k)
+        power = np.where(powered_on, active, self.gated_w)
+        return float(power) if power.ndim == 0 else power
+
+    def __repr__(self) -> str:
+        return (
+            f"LeakageModel(nominal_w={self.nominal_w}, gated_w={self.gated_w}, "
+            f"beta_per_k={self.beta_per_k})"
+        )

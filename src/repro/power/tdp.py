@@ -1,0 +1,94 @@
+"""TDP budgets: where the dark-silicon fraction comes from.
+
+The paper's introduction: the Thermal Design Power budget restricts how
+many cores may run at nominal settings simultaneously, forcing the rest
+dark.  This module makes that arithmetic explicit — given per-core power
+at an operating point, how many cores fit under a TDP, and hence what
+dark fraction a platform must enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TDPBudget:
+    """A chip-level power budget in watts."""
+
+    watts: float
+
+    def __post_init__(self) -> None:
+        check_positive("watts", self.watts)
+
+    def max_cores_on(
+        self,
+        active_power_w: np.ndarray,
+        gated_power_w: float = 0.019,
+    ) -> int:
+        """Largest number of cores that fit under the budget.
+
+        Activates cores cheapest-first (per-core power varies with
+        leakage); the remaining (dark) cores still draw their gated
+        leakage, which counts against the budget too.
+        """
+        active_power_w = np.asarray(active_power_w, dtype=float)
+        if active_power_w.ndim != 1 or (active_power_w <= 0).any():
+            raise ValueError("active_power_w must be a positive 1-D array")
+        if gated_power_w < 0:
+            raise ValueError("gated_power_w must be >= 0")
+        n = active_power_w.shape[0]
+        ordered = np.sort(active_power_w)
+        best = 0
+        for k in range(n + 1):
+            total = ordered[:k].sum() + (n - k) * gated_power_w
+            if total <= self.watts:
+                best = k
+            else:
+                break
+        return best
+
+    def dark_fraction_required(
+        self,
+        active_power_w: np.ndarray,
+        gated_power_w: float = 0.019,
+    ) -> float:
+        """Minimum dark fraction this budget enforces."""
+        active_power_w = np.asarray(active_power_w, dtype=float)
+        n = active_power_w.shape[0]
+        on = self.max_cores_on(active_power_w, gated_power_w)
+        return (n - on) / n
+
+    def headroom_w(self, total_power_w: float) -> float:
+        """Remaining budget (negative = violation)."""
+        return self.watts - float(total_power_w)
+
+
+def dark_silicon_projection(
+    node_nm: float,
+    base_dark_fraction: float = 0.13,
+    base_node_nm: float = 16.0,
+    scaling_per_node: float = 1.35,
+) -> float:
+    """The paper's quoted dark-silicon trend, as a smooth projection.
+
+    Section I cites [3]: on average 13 %, 16 % and >40 % of the chip
+    stays dark at 16, 11 and 8 nm.  This helper interpolates that trend
+    geometrically (each full node shrink multiplies the dark fraction by
+    ``scaling_per_node``) — a coarse model for sizing experiments at
+    other nodes, capped at 95 %.
+    """
+    check_positive("node_nm", node_nm)
+    check_positive("base_node_nm", base_node_nm)
+    if not 0.0 < base_dark_fraction < 1.0:
+        raise ValueError("base_dark_fraction must lie in (0, 1)")
+    if scaling_per_node <= 1.0:
+        raise ValueError("scaling_per_node must exceed 1.0")
+    # Node generations are ~0.7x linear shrinks.
+    generations = np.log(base_node_nm / node_nm) / np.log(1.0 / 0.7)
+    fraction = base_dark_fraction * scaling_per_node**generations
+    return float(np.clip(fraction, 0.0, 0.95))

@@ -1,0 +1,167 @@
+"""Campaigns: populations of chips under competing policies.
+
+The paper's evaluation shape: 25 chips x {25 %, 50 %} dark silicon x
+{VAA, Hayat}, every (chip, dark-level) pair seeing identical silicon and
+identical workload draws for both policies, normalized per chip to the
+baseline (Figs. 7-10).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aging.tables import AgingTable, default_aging_table
+from repro.sim.config import SimulationConfig
+from repro.sim.context import ChipContext
+from repro.sim.results import LifetimeResult
+from repro.sim.simulator import LifetimeSimulator
+from repro.util.constants import AMBIENT_KELVIN
+from repro.variation.population import ChipPopulation, generate_population
+
+
+@dataclass
+class CampaignResult:
+    """All lifetime results of one campaign, keyed for comparison."""
+
+    config: SimulationConfig
+    #: results[policy_name][chip_index] -> LifetimeResult
+    results: dict[str, list[LifetimeResult]] = field(default_factory=dict)
+
+    def policies(self) -> list[str]:
+        """Policy names in insertion order."""
+        return list(self.results)
+
+    def normalized_dtm_events(self, baseline: str, policy: str) -> np.ndarray:
+        """Per-chip DTM events of ``policy`` / ``baseline`` (Fig. 7).
+
+        Chips whose baseline count is zero are skipped (no events to
+        normalize against).
+        """
+        out = []
+        for base, other in zip(self.results[baseline], self.results[policy]):
+            if base.total_dtm_events() > 0:
+                out.append(other.total_dtm_events() / base.total_dtm_events())
+        return np.array(out)
+
+    def normalized_temp_rise(self, baseline: str, policy: str) -> np.ndarray:
+        """Per-chip mean temperature-over-ambient ratio (Fig. 8)."""
+        out = []
+        for base, other in zip(self.results[baseline], self.results[policy]):
+            rise_base = base.mean_temp_rise_k(AMBIENT_KELVIN)
+            rise_other = other.mean_temp_rise_k(AMBIENT_KELVIN)
+            out.append(rise_other / rise_base)
+        return np.array(out)
+
+    def normalized_chip_fmax_aging(self, baseline: str, policy: str) -> np.ndarray:
+        """Per-chip max-frequency aging-rate ratio (Fig. 9)."""
+        out = []
+        for base, other in zip(self.results[baseline], self.results[policy]):
+            rate_base = base.chip_fmax_aging_rate()
+            if rate_base > 1e-9:
+                out.append(other.chip_fmax_aging_rate() / rate_base)
+        return np.array(out)
+
+    def normalized_avg_fmax_aging(self, baseline: str, policy: str) -> np.ndarray:
+        """Per-chip average-frequency aging-rate ratio (Fig. 10)."""
+        out = []
+        for base, other in zip(self.results[baseline], self.results[policy]):
+            rate_base = base.avg_fmax_aging_rate()
+            if rate_base > 1e-9:
+                out.append(other.avg_fmax_aging_rate() / rate_base)
+        return np.array(out)
+
+    def mean_avg_fmax_trajectory(self, policy: str) -> np.ndarray:
+        """Population-mean average-frequency trajectory (Fig. 11 right)."""
+        return np.mean(
+            [r.avg_fmax_trajectory_ghz() for r in self.results[policy]], axis=0
+        )
+
+    def mean_lifetime_at_requirement(
+        self, policy: str, required_avg_ghz: float
+    ) -> float:
+        """Population-mean lifetime at a frequency requirement."""
+        return float(
+            np.mean(
+                [
+                    r.lifetime_at_requirement_years(required_avg_ghz)
+                    for r in self.results[policy]
+                ]
+            )
+        )
+
+
+def _run_one(job):
+    """Worker entry: one (policy, chip) lifetime.  Module-level so it
+    pickles for multiprocessing."""
+    policy, chip, table, config = job
+    ctx = ChipContext(chip, table, dark_fraction_min=config.dark_fraction_min)
+    return LifetimeSimulator(config).run(ctx, policy)
+
+
+def run_campaign(
+    policies,
+    num_chips: int = 25,
+    config: SimulationConfig | None = None,
+    population: ChipPopulation | None = None,
+    table: AgingTable | None = None,
+    population_seed: int = 42,
+    progress=None,
+    workers: int = 1,
+) -> CampaignResult:
+    """Run every policy over the same chip population.
+
+    Parameters
+    ----------
+    policies:
+        Iterable of policy objects (each with ``name`` and
+        ``prepare_epoch``).
+    num_chips:
+        Population size when ``population`` is not supplied (paper: 25).
+    config:
+        Simulation configuration (shared by all runs).
+    population, table:
+        Pre-built silicon and aging table, for reuse across campaigns.
+    progress:
+        Optional callable ``(policy_name, chip_id)`` invoked per run
+        (serial mode only; parallel workers cannot call back).
+    workers:
+        Process count.  Every (policy, chip) lifetime is independent,
+        so results are bit-identical to the serial run; use this for
+        paper-scale campaigns.
+    """
+    config = config if config is not None else SimulationConfig()
+    if population is None:
+        population = generate_population(num_chips, seed=population_seed)
+    if table is None:
+        table = default_aging_table()
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    policies = list(policies)
+    campaign = CampaignResult(config=config)
+    if workers == 1:
+        for policy in policies:
+            runs: list[LifetimeResult] = []
+            for chip in population:
+                if progress is not None:
+                    progress(policy.name, chip.chip_id)
+                runs.append(_run_one((policy, chip, table, config)))
+            campaign.results[policy.name] = runs
+        return campaign
+
+    jobs = [
+        (policy, chip, table, config)
+        for policy in policies
+        for chip in population
+    ]
+    with multiprocessing.get_context("spawn").Pool(workers) as pool:
+        flat = pool.map(_run_one, jobs)
+    per_policy = len(population.chips)
+    for index, policy in enumerate(policies):
+        campaign.results[policy.name] = flat[
+            index * per_policy : (index + 1) * per_policy
+        ]
+    return campaign

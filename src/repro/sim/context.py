@@ -1,0 +1,104 @@
+"""Per-chip simulation context: every model instance a policy may need.
+
+A :class:`ChipContext` bundles the chip with its thermal network, power
+model, learned predictor, aging table, mutable health state, and sensor
+front-ends.  Policies receive it in ``prepare_epoch`` and read monitored
+(not ground-truth) values through it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aging.health import HealthState
+from repro.aging.monitors import AgingSensor
+from repro.aging.tables import AgingTable
+from repro.floorplan import Floorplan
+from repro.noc.topology import MeshTopology
+from repro.power.model import PowerModel
+from repro.thermal.predictor import ThermalPredictor
+from repro.thermal.rcnet import ThermalRCNetwork
+from repro.thermal.sensors import ThermalSensor
+from repro.util.rng import _key_to_ints
+from repro.util.validation import check_fraction
+from repro.variation.chip import Chip
+
+
+class ChipContext:
+    """Everything the run-time system knows about one chip.
+
+    Parameters
+    ----------
+    chip:
+        The silicon.
+    table:
+        The design's 3D aging table (shared across a population).
+    dark_fraction_min:
+        The dark-silicon floor; exposes :attr:`max_on_cores`.
+    """
+
+    def __init__(
+        self,
+        chip: Chip,
+        table: AgingTable,
+        dark_fraction_min: float = 0.5,
+        thermal_sensor: ThermalSensor | None = None,
+        aging_sensor: AgingSensor | None = None,
+        manager_table: AgingTable | None = None,
+    ):
+        check_fraction("dark_fraction_min", dark_fraction_min)
+        self.chip = chip
+        self.floorplan: Floorplan = chip.floorplan
+        #: Ground-truth aging table (drives the chip's real degradation).
+        self.truth_table = table
+        #: The table the *manager* consults (its offline calibration);
+        #: defaults to ground truth.  Passing a different table injects
+        #: model mismatch — the robustness scenario where the vendor's
+        #: SPICE calibration disagrees with the silicon.
+        self.table = manager_table if manager_table is not None else table
+        self.dark_fraction_min = float(dark_fraction_min)
+        self.network = ThermalRCNetwork(self.floorplan)
+        self.power_model = PowerModel.for_chip(chip)
+        self.predictor = ThermalPredictor.learn(self.network, self.power_model)
+        self.noc = MeshTopology(self.floorplan)
+        self.health_state = HealthState(self.truth_table, chip.fmax_init_ghz)
+        self.thermal_sensor = (
+            thermal_sensor if thermal_sensor is not None else ThermalSensor()
+        )
+        self.aging_sensor = (
+            aging_sensor if aging_sensor is not None else AgingSensor()
+        )
+        #: Last fine-grained window's final core temperatures (None
+        #: before the first epoch); policies use it to warm-start
+        #: predictions.
+        self.last_temps_k: np.ndarray | None = None
+
+    @property
+    def max_on_cores(self) -> int:
+        """Largest ``N_on`` the dark-silicon floor allows."""
+        return int(np.floor(self.chip.num_cores * (1.0 - self.dark_fraction_min)))
+
+    @property
+    def elapsed_years(self) -> float:
+        """Chip age accumulated so far."""
+        return self.health_state.elapsed_years
+
+    def measured_health(self) -> np.ndarray:
+        """Health map as the aging sensors report it (quantized)."""
+        return self.aging_sensor.read(self.health_state.health)
+
+    def measured_fmax_ghz(self) -> np.ndarray:
+        """Per-core safe frequency derived from monitored health."""
+        return self.chip.fmax_init_ghz * self.measured_health()
+
+    def read_temps(self, true_temps_k: np.ndarray) -> np.ndarray:
+        """Thermal sensor readings for ground-truth temperatures."""
+        return self.thermal_sensor.read(true_temps_k)
+
+    def chip_seed_token(self) -> int:
+        """A stable integer identifying this chip (for policy RNGs).
+
+        Uses the platform-independent FNV hash, not built-in ``hash``
+        (which is randomized per process and would break replay).
+        """
+        return _key_to_ints([self.chip.chip_id])[0] & 0x7FFFFFFF

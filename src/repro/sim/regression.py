@@ -1,0 +1,109 @@
+"""Regression comparison of exported result sets.
+
+Model changes are expected in a research codebase; silent drift is not.
+:func:`compare_results` diffs two result sets (e.g. an exported baseline
+JSON against a fresh run) and reports every metric that moved beyond its
+tolerance — the building block for a results-level CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.results import LifetimeResult
+
+#: Default relative tolerances per compared metric.
+DEFAULT_TOLERANCES = {
+    "total_dtm_events": 0.0,  # integer: exact by default
+    "mean_final_health": 1e-9,
+    "chip_fmax_aging_rate": 1e-9,
+    "avg_fmax_aging_rate": 1e-9,
+    "mean_comm_cost": 1e-9,
+}
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric that moved beyond tolerance."""
+
+    chip_id: str
+    policy: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def relative_change(self) -> float:
+        """Signed relative change vs the baseline (inf when baseline 0)."""
+        if self.baseline == 0.0:
+            return float("inf") if self.current != 0.0 else 0.0
+        return (self.current - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.policy}/{self.chip_id} {self.metric}: "
+            f"{self.baseline:.6g} -> {self.current:.6g} "
+            f"({100 * self.relative_change:+.2f} %)"
+        )
+
+
+def _metrics(result: LifetimeResult) -> dict[str, float]:
+    return {
+        "total_dtm_events": float(result.total_dtm_events()),
+        "mean_final_health": float(result.epochs[-1].health_after.mean()),
+        "chip_fmax_aging_rate": result.chip_fmax_aging_rate(),
+        "avg_fmax_aging_rate": result.avg_fmax_aging_rate(),
+        "mean_comm_cost": result.mean_comm_cost(),
+    }
+
+
+def compare_results(
+    baseline: list[LifetimeResult],
+    current: list[LifetimeResult],
+    tolerances: dict[str, float] | None = None,
+) -> list[Drift]:
+    """Diff two result sets; returns drifts beyond tolerance.
+
+    Results are matched by ``(policy_name, chip_id)``; a pairing
+    mismatch is an error (the comparison would be meaningless).
+    """
+    tols = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        unknown = set(tolerances) - set(tols)
+        if unknown:
+            raise ValueError(f"unknown metrics in tolerances: {sorted(unknown)}")
+        tols.update(tolerances)
+
+    def key(result: LifetimeResult):
+        return (result.policy_name, result.chip_id)
+
+    base_map = {key(r): r for r in baseline}
+    cur_map = {key(r): r for r in current}
+    if set(base_map) != set(cur_map):
+        raise ValueError(
+            "result sets do not pair up: "
+            f"baseline-only {sorted(set(base_map) - set(cur_map))}, "
+            f"current-only {sorted(set(cur_map) - set(base_map))}"
+        )
+
+    drifts: list[Drift] = []
+    for pair_key in sorted(base_map):
+        base_metrics = _metrics(base_map[pair_key])
+        cur_metrics = _metrics(cur_map[pair_key])
+        for metric, tol in tols.items():
+            a, b = base_metrics[metric], cur_metrics[metric]
+            limit = tol * max(abs(a), 1e-12)
+            if abs(b - a) > limit:
+                drifts.append(
+                    Drift(
+                        chip_id=pair_key[1],
+                        policy=pair_key[0],
+                        metric=metric,
+                        baseline=a,
+                        current=b,
+                    )
+                )
+    return drifts

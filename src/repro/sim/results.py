@@ -1,0 +1,151 @@
+"""Result records of lifetime simulations and their derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class EpochRecord:
+    """Observables of one aging epoch."""
+
+    epoch_index: int
+    start_years: float
+    #: Epoch length in years (constant within a simulation).
+    length_years: float
+    mix_description: str
+    #: The policy's chosen power-state map at epoch start (before DTM).
+    dcm_on: np.ndarray
+    #: Per-core worst-case temperature over the fine-grained window (K).
+    worst_temps_k: np.ndarray
+    #: Time- and core-averaged temperature over the window (K).
+    avg_temp_k: float
+    #: Peak temperature seen anywhere in the window (K).
+    peak_temp_k: float
+    dtm_migrations: int
+    dtm_throttles: int
+    #: Per-core duty cycles upscaled to the epoch.
+    duties: np.ndarray
+    #: Health map *after* this epoch's aging was applied.
+    health_after: np.ndarray
+    #: Number of threads that ran below their required frequency.
+    qos_violations: int
+    #: Aggregate throughput of the window (instructions per second).
+    total_ips: float
+    #: Threads that arrived mid-epoch (0 without an arrival schedule).
+    arrivals: int = 0
+    #: NoC cost of the end-of-window mapping (GB/s-hops); the
+    #: communication side of the contiguity-vs-spreading trade-off.
+    comm_weighted_hops: float = 0.0
+    #: Core-steps of the window where *ground-truth* temperature
+    #: exceeded Tsafe — nonzero means the sensors/DTM let real
+    #: violations through (e.g. a negative sensor bias).
+    tsafe_violation_steps: int = 0
+
+    @property
+    def dtm_events(self) -> int:
+        """Total DTM interventions."""
+        return self.dtm_migrations + self.dtm_throttles
+
+
+@dataclass
+class LifetimeResult:
+    """A full lifetime simulation of one (chip, policy) pair."""
+
+    chip_id: str
+    policy_name: str
+    dark_fraction_min: float
+    fmax_init_ghz: np.ndarray
+    epochs: list[EpochRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # trajectories
+    # ------------------------------------------------------------------
+    def years(self) -> np.ndarray:
+        """End-of-epoch timestamps (years)."""
+        return np.array(
+            [e.start_years + e.length_years for e in self.epochs]
+        )
+
+    def health_trajectory(self) -> np.ndarray:
+        """``(num_epochs, num_cores)`` health after each epoch."""
+        return np.array([e.health_after for e in self.epochs])
+
+    def fmax_trajectory_ghz(self) -> np.ndarray:
+        """``(num_epochs, num_cores)`` safe frequency after each epoch."""
+        return self.health_trajectory() * self.fmax_init_ghz[None, :]
+
+    def chip_fmax_trajectory_ghz(self) -> np.ndarray:
+        """Per-epoch maximum single-core frequency (the Fig. 9 series)."""
+        return self.fmax_trajectory_ghz().max(axis=1)
+
+    def avg_fmax_trajectory_ghz(self) -> np.ndarray:
+        """Per-epoch core-average frequency (the Fig. 10/11 series)."""
+        return self.fmax_trajectory_ghz().mean(axis=1)
+
+    # ------------------------------------------------------------------
+    # scalar summaries
+    # ------------------------------------------------------------------
+    def total_dtm_events(self) -> int:
+        """All DTM interventions across the lifetime (Fig. 7)."""
+        return sum(e.dtm_events for e in self.epochs)
+
+    def total_dtm_migrations(self) -> int:
+        """Migration-only count."""
+        return sum(e.dtm_migrations for e in self.epochs)
+
+    def mean_temp_rise_k(self, ambient_k: float) -> float:
+        """Lifetime-average temperature over ambient (Fig. 8)."""
+        return float(
+            np.mean([e.avg_temp_k for e in self.epochs]) - ambient_k
+        )
+
+    def chip_fmax_aging_rate(self) -> float:
+        """Relative loss of the chip's best core over the lifetime.
+
+        ``(fmax_chip(0) - fmax_chip(end)) / fmax_chip(0)`` where
+        ``fmax_chip`` is the maximum single-core frequency — Fig. 9's
+        aging-rate quantity (lower is better).
+        """
+        start = float(self.fmax_init_ghz.max())
+        end = float(self.chip_fmax_trajectory_ghz()[-1])
+        return (start - end) / start
+
+    def avg_fmax_aging_rate(self) -> float:
+        """Relative loss of the core-average frequency (Fig. 10)."""
+        start = float(self.fmax_init_ghz.mean())
+        end = float(self.avg_fmax_trajectory_ghz()[-1])
+        return (start - end) / start
+
+    def lifetime_at_requirement_years(self, required_avg_ghz: float) -> float:
+        """Years until the average frequency drops below a requirement.
+
+        Linear interpolation between epochs; returns the full simulated
+        lifetime when the requirement is never violated (a lower bound),
+        and 0.0 when even the fresh chip is below it.
+        """
+        years = np.concatenate([[0.0], self.years()])
+        freqs = np.concatenate(
+            [[float(self.fmax_init_ghz.mean())], self.avg_fmax_trajectory_ghz()]
+        )
+        below = np.flatnonzero(freqs < required_avg_ghz)
+        if below.size == 0:
+            return float(years[-1])
+        k = below[0]
+        if k == 0:
+            return 0.0
+        # Interpolate the crossing inside [k-1, k].
+        f0, f1 = freqs[k - 1], freqs[k]
+        y0, y1 = years[k - 1], years[k]
+        frac = (f0 - required_avg_ghz) / (f0 - f1)
+        return float(y0 + frac * (y1 - y0))
+
+    def total_qos_violations(self) -> int:
+        """Threads that ran below requirement, summed over epochs."""
+        return sum(e.qos_violations for e in self.epochs)
+
+    def mean_comm_cost(self) -> float:
+        """Lifetime-average NoC cost (GB/s-hops) of the mappings."""
+        return float(np.mean([e.comm_weighted_hops for e in self.epochs]))

@@ -1,0 +1,137 @@
+"""Config-driven experiments: scenarios as JSON documents.
+
+A scenario bundles everything a campaign needs — population, simulation
+config, policy list with their knobs — into one declarative document, so
+experiments are shareable and replayable without writing Python:
+
+.. code-block:: json
+
+    {
+      "name": "dark50-comm-aware",
+      "population": {"num_chips": 5, "seed": 42},
+      "config": {"dark_fraction_min": 0.5, "lifetime_years": 10.0},
+      "policies": [
+        {"type": "vaa"},
+        {"type": "hayat", "comm_weight": 2.0}
+      ]
+    }
+
+Unknown keys are rejected loudly (a typo'd knob must not silently run
+the default experiment).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.baselines import (
+    ContiguousManager,
+    CoolestFirstManager,
+    RandomManager,
+    VAAManager,
+)
+from repro.core import HayatManager
+from repro.sim.campaign import CampaignResult, run_campaign
+from repro.sim.config import SimulationConfig
+from repro.variation.population import generate_population
+
+POLICY_TYPES = {
+    "hayat": HayatManager,
+    "vaa": VAAManager,
+    "contiguous": ContiguousManager,
+    "coolest": CoolestFirstManager,
+    "random": RandomManager,
+}
+
+_ALLOWED_TOP_KEYS = {"name", "population", "config", "policies"}
+_ALLOWED_POPULATION_KEYS = {"num_chips", "seed"}
+
+
+class ScenarioError(ValueError):
+    """The scenario document is malformed."""
+
+
+def _build_policies(specs) -> list:
+    if not isinstance(specs, list) or not specs:
+        raise ScenarioError("'policies' must be a non-empty list")
+    policies = []
+    for spec in specs:
+        if not isinstance(spec, dict) or "type" not in spec:
+            raise ScenarioError(f"policy spec needs a 'type': {spec!r}")
+        kwargs = {k: v for k, v in spec.items() if k != "type"}
+        type_name = spec["type"]
+        try:
+            cls = POLICY_TYPES[type_name]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown policy type {type_name!r}; "
+                f"known: {sorted(POLICY_TYPES)}"
+            ) from None
+        try:
+            policies.append(cls(**kwargs))
+        except TypeError as error:
+            raise ScenarioError(
+                f"bad arguments for policy {type_name!r}: {error}"
+            ) from None
+    names = [p.name for p in policies]
+    if len(set(names)) != len(names):
+        raise ScenarioError(f"duplicate policy types in scenario: {names}")
+    return policies
+
+
+def _build_config(data) -> SimulationConfig:
+    data = data or {}
+    if not isinstance(data, dict):
+        raise ScenarioError("'config' must be an object")
+    valid = {f.name for f in dataclasses.fields(SimulationConfig)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ScenarioError(
+            f"unknown config keys {sorted(unknown)}; valid: {sorted(valid)}"
+        )
+    try:
+        return SimulationConfig(**data)
+    except (TypeError, ValueError) as error:
+        raise ScenarioError(f"bad simulation config: {error}") from None
+
+
+def run_scenario(scenario: dict, table=None, progress=None) -> CampaignResult:
+    """Run a scenario document; returns the campaign result."""
+    if not isinstance(scenario, dict):
+        raise ScenarioError("scenario must be an object")
+    unknown = set(scenario) - _ALLOWED_TOP_KEYS
+    if unknown:
+        raise ScenarioError(f"unknown scenario keys: {sorted(unknown)}")
+    if "policies" not in scenario:
+        raise ScenarioError("scenario needs a 'policies' list")
+
+    population_spec = scenario.get("population", {})
+    if not isinstance(population_spec, dict) or (
+        set(population_spec) - _ALLOWED_POPULATION_KEYS
+    ):
+        raise ScenarioError(
+            f"'population' accepts keys {sorted(_ALLOWED_POPULATION_KEYS)}"
+        )
+    population = generate_population(
+        int(population_spec.get("num_chips", 3)),
+        seed=int(population_spec.get("seed", 42)),
+    )
+    config = _build_config(scenario.get("config"))
+    policies = _build_policies(scenario["policies"])
+    return run_campaign(
+        policies,
+        config=config,
+        population=population,
+        table=table,
+        progress=progress,
+    )
+
+
+def load_scenario(path: str) -> dict:
+    """Read a scenario JSON file."""
+    with open(path) as handle:
+        try:
+            return json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(f"invalid JSON in {path}: {error}") from None

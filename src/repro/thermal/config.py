@@ -1,0 +1,81 @@
+"""Physical parameters of the compact thermal model.
+
+Defaults follow HotSpot-class compact models for a lidded part: a 0.3 mm
+silicon die on a 1 mm copper spreader on a finned sink, with per-core
+tiles of the paper's 1.70 x 1.75 mm^2 floorplan.  Conductances are derived
+from material properties and geometry rather than quoted directly, so
+changing the floorplan rescales the network consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.constants import AMBIENT_KELVIN
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Material/geometry knobs of the RC network.
+
+    Parameters
+    ----------
+    ambient_k:
+        Ambient (coolant inlet) temperature in kelvin.
+    die_thickness_m:
+        Silicon die thickness (m).
+    silicon_conductivity:
+        Thermal conductivity of silicon, W/(m K).
+    silicon_volumetric_heat:
+        Volumetric heat capacity of silicon, J/(m^3 K).
+    spreader_thickness_m:
+        Copper spreader thickness (m).
+    copper_conductivity:
+        Thermal conductivity of copper, W/(m K).
+    copper_volumetric_heat:
+        Volumetric heat capacity of copper, J/(m^3 K).
+    tim_resistance_km2_per_w:
+        Specific thermal resistance of the die-spreader interface
+        material, K m^2 / W (in series with conduction through the die).
+    spreader_to_sink_r_kw:
+        Per-core-patch resistance from spreader into the sink base, K/W.
+    sink_to_ambient_r_kw:
+        Whole-chip convection resistance sink-to-ambient, K/W.
+    sink_heat_capacity_j_per_k:
+        Lumped sink heat capacity, J/K (sets the tens-of-seconds sink
+        time constant).
+    uncore_power_w:
+        Constant heat of the uncore (shared L2, NoC, memory controllers
+        — the paper fixes their budgets), injected uniformly into the
+        spreader layer.  Raises the whole thermal operating point
+        without per-core structure.
+    """
+
+    ambient_k: float = AMBIENT_KELVIN
+    die_thickness_m: float = 0.3e-3
+    silicon_conductivity: float = 120.0
+    silicon_volumetric_heat: float = 1.75e6
+    spreader_thickness_m: float = 2.0e-3
+    copper_conductivity: float = 400.0
+    copper_volumetric_heat: float = 3.45e6
+    tim_resistance_km2_per_w: float = 1.0e-5
+    spreader_to_sink_r_kw: float = 0.9
+    sink_to_ambient_r_kw: float = 0.13
+    sink_heat_capacity_j_per_k: float = 140.0
+    uncore_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("ambient_k", self.ambient_k)
+        check_positive("die_thickness_m", self.die_thickness_m)
+        check_positive("silicon_conductivity", self.silicon_conductivity)
+        check_positive("silicon_volumetric_heat", self.silicon_volumetric_heat)
+        check_positive("spreader_thickness_m", self.spreader_thickness_m)
+        check_positive("copper_conductivity", self.copper_conductivity)
+        check_positive("copper_volumetric_heat", self.copper_volumetric_heat)
+        check_positive("tim_resistance_km2_per_w", self.tim_resistance_km2_per_w)
+        check_positive("spreader_to_sink_r_kw", self.spreader_to_sink_r_kw)
+        check_positive("sink_to_ambient_r_kw", self.sink_to_ambient_r_kw)
+        check_positive("sink_heat_capacity_j_per_k", self.sink_heat_capacity_j_per_k)
+        if self.uncore_power_w < 0:
+            raise ValueError("uncore_power_w must be >= 0")

@@ -1,0 +1,207 @@
+"""The compact RC thermal network: construction and solvers.
+
+Node layout for an ``N``-core floorplan (``2N + 1`` nodes total):
+
+* ``0 .. N-1`` — silicon junction node of each core (power injects here),
+* ``N .. 2N-1`` — the spreader patch under each core,
+* ``2N`` — the lumped heat sink, coupled to ambient.
+
+The network is described by a symmetric conductance Laplacian ``A`` plus a
+diagonal ambient coupling, so steady state solves
+``(A + diag(g_amb)) * (T - T_amb) = P_nodes`` and the transient follows
+``C dT/dt = P - (A + diag(g_amb)) (T - T_amb)`` integrated with backward
+Euler (unconditionally stable, so DTM-scale steps are safe).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+from repro.floorplan import Floorplan
+from repro.thermal.config import ThermalConfig
+from repro.util.validation import check_positive
+
+
+class ThermalRCNetwork:
+    """Ground-truth thermal model for one chip.
+
+    Parameters
+    ----------
+    floorplan:
+        Core layout (provides tile geometry and adjacency).
+    config:
+        Material and package parameters.
+    """
+
+    def __init__(self, floorplan: Floorplan, config: ThermalConfig | None = None):
+        self.floorplan = floorplan
+        self.config = config if config is not None else ThermalConfig()
+        self.num_cores = floorplan.num_cores
+        self.num_nodes = 2 * self.num_cores + 1
+        self._build()
+
+    # ------------------------------------------------------------------
+    # network construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+        n = self.num_cores
+        core = self.floorplan.core
+        area_m2 = core.area_m2
+        width_m = core.width_mm * 1e-3
+        height_m = core.height_mm * 1e-3
+
+        # Vertical path core -> spreader: die conduction in series with TIM.
+        r_die = cfg.die_thickness_m / (cfg.silicon_conductivity * area_m2)
+        r_tim = cfg.tim_resistance_km2_per_w / area_m2
+        g_vertical = 1.0 / (r_die + r_tim)
+
+        # Lateral conduction between adjacent tiles, within die and spreader.
+        # Cross-section = shared edge length x layer thickness; distance =
+        # center-to-center pitch along the respective axis.
+        def lateral_g(conductivity: float, thickness: float) -> tuple[float, float]:
+            g_x = conductivity * (height_m * thickness) / width_m
+            g_y = conductivity * (width_m * thickness) / height_m
+            return g_x, g_y
+
+        g_die_x, g_die_y = lateral_g(cfg.silicon_conductivity, cfg.die_thickness_m)
+        g_sp_x, g_sp_y = lateral_g(cfg.copper_conductivity, cfg.spreader_thickness_m)
+
+        g_sp_sink = 1.0 / cfg.spreader_to_sink_r_kw
+        g_sink_amb = 1.0 / cfg.sink_to_ambient_r_kw
+
+        laplacian = np.zeros((self.num_nodes, self.num_nodes))
+
+        def couple(i: int, j: int, g: float) -> None:
+            laplacian[i, i] += g
+            laplacian[j, j] += g
+            laplacian[i, j] -= g
+            laplacian[j, i] -= g
+
+        sink = 2 * n
+        for i in range(n):
+            couple(i, n + i, g_vertical)
+            couple(n + i, sink, g_sp_sink)
+        for i, j in self.floorplan.iter_edges():
+            row_i, _ = self.floorplan.position(i)
+            row_j, _ = self.floorplan.position(j)
+            horizontal = row_i == row_j
+            couple(i, j, g_die_x if horizontal else g_die_y)
+            couple(n + i, n + j, g_sp_x if horizontal else g_sp_y)
+
+        g_ambient = np.zeros(self.num_nodes)
+        g_ambient[sink] = g_sink_amb
+
+        self._system = laplacian + np.diag(g_ambient)
+        # Cholesky of the SPD system matrix: reused by every steady-state
+        # solve and by the influence-matrix computation.
+        self._system_cho = linalg.cho_factor(self._system)
+
+        capacitance = np.empty(self.num_nodes)
+        capacitance[:n] = cfg.silicon_volumetric_heat * area_m2 * cfg.die_thickness_m
+        capacitance[n : 2 * n] = (
+            cfg.copper_volumetric_heat * area_m2 * cfg.spreader_thickness_m
+        )
+        capacitance[sink] = cfg.sink_heat_capacity_j_per_k
+        self.capacitance = capacitance
+
+    # ------------------------------------------------------------------
+    # solvers
+    # ------------------------------------------------------------------
+    def _node_power(self, core_power_w: np.ndarray) -> np.ndarray:
+        core_power_w = np.asarray(core_power_w, dtype=float)
+        if core_power_w.shape != (self.num_cores,):
+            raise ValueError(
+                f"core_power_w must have shape ({self.num_cores},), "
+                f"got {core_power_w.shape}"
+            )
+        if (core_power_w < 0).any():
+            raise ValueError("core powers must be non-negative")
+        p = np.zeros(self.num_nodes)
+        p[: self.num_cores] = core_power_w
+        if self.config.uncore_power_w > 0:
+            # Uncore heat (shared L2/NoC) enters the spreader layer
+            # uniformly — no per-core structure, just a hotter baseline.
+            p[self.num_cores : 2 * self.num_cores] += (
+                self.config.uncore_power_w / self.num_cores
+            )
+        return p
+
+    def steady_state(self, core_power_w: np.ndarray) -> np.ndarray:
+        """Steady-state core junction temperatures (K) for fixed powers."""
+        rise = linalg.cho_solve(self._system_cho, self._node_power(core_power_w))
+        return self.config.ambient_k + rise[: self.num_cores]
+
+    def steady_state_all_nodes(self, core_power_w: np.ndarray) -> np.ndarray:
+        """Steady-state temperatures of every node (cores, spreader, sink)."""
+        rise = linalg.cho_solve(self._system_cho, self._node_power(core_power_w))
+        return self.config.ambient_k + rise
+
+    def influence_matrix(self) -> np.ndarray:
+        """``(num_cores, num_cores)`` steady-state influence matrix ``K``.
+
+        ``T_cores = T_amb + K @ p_cores`` exactly (for this linear
+        network).  Column ``j`` is the temperature-rise fingerprint of
+        1 W injected at core ``j`` — the "spatial thermal profile" the
+        online predictor of [27] superposes.
+        """
+        unit = np.zeros((self.num_nodes, self.num_cores))
+        unit[: self.num_cores, :] = np.eye(self.num_cores)
+        rises = linalg.cho_solve(self._system_cho, unit)
+        return rises[: self.num_cores, :]
+
+    def initial_temperatures(self) -> np.ndarray:
+        """All-nodes temperature vector for a cold (ambient) start."""
+        return np.full(self.num_nodes, self.config.ambient_k)
+
+    def core_time_constant_s(self) -> float:
+        """Rough junction-node time constant, for choosing step sizes."""
+        i = 0
+        return float(self.capacitance[i] / self._system[i, i])
+
+
+class TransientIntegrator:
+    """Backward-Euler integrator over the RC network with a fixed step.
+
+    The step matrix ``(C/dt + A)`` is factorized once, so advancing the
+    network costs one triangular solve per step regardless of how the
+    power vector changes between steps.
+    """
+
+    def __init__(self, network: ThermalRCNetwork, dt_s: float):
+        self.network = network
+        self.dt_s = check_positive("dt_s", dt_s)
+        c_over_dt = network.capacitance / self.dt_s
+        self._c_over_dt = c_over_dt
+        self._step_cho = linalg.cho_factor(network._system + np.diag(c_over_dt))
+        self._ambient = network.config.ambient_k
+
+    def step(self, temps_all_nodes: np.ndarray, core_power_w: np.ndarray) -> np.ndarray:
+        """Advance one ``dt`` and return the new all-nodes temperatures."""
+        temps_all_nodes = np.asarray(temps_all_nodes, dtype=float)
+        if temps_all_nodes.shape != (self.network.num_nodes,):
+            raise ValueError("temps_all_nodes has wrong shape")
+        p = self.network._node_power(core_power_w)
+        rise = temps_all_nodes - self._ambient
+        rhs = p + self._c_over_dt * rise
+        new_rise = linalg.cho_solve(self._step_cho, rhs)
+        return self._ambient + new_rise
+
+    def run(
+        self,
+        temps_all_nodes: np.ndarray,
+        core_power_w: np.ndarray,
+        num_steps: int,
+    ) -> np.ndarray:
+        """Advance ``num_steps`` with a constant power vector."""
+        if num_steps < 0:
+            raise ValueError("num_steps must be >= 0")
+        temps = np.asarray(temps_all_nodes, dtype=float).copy()
+        for _ in range(num_steps):
+            temps = self.step(temps, core_power_w)
+        return temps
+
+    def core_temperatures(self, temps_all_nodes: np.ndarray) -> np.ndarray:
+        """Extract the junction temperatures from an all-nodes vector."""
+        return np.asarray(temps_all_nodes)[: self.network.num_cores]

@@ -1,0 +1,58 @@
+"""Thermal sensor front-end.
+
+Every core carries at least one (soft) thermal sensor ``T_i`` (paper,
+Section III).  The management layer reads quantized, optionally noisy
+sensor values rather than simulator ground truth, which keeps the
+DTM-threshold behaviour honest: a core sitting 0.2 K under ``Tsafe`` may
+read as violating it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+class ThermalSensor:
+    """Quantizing, optionally noisy reader of per-core temperatures.
+
+    Parameters
+    ----------
+    resolution_k:
+        Quantization step in kelvin (typical on-die sensors report in
+        1 C steps; 0.5 is a common effective resolution).
+    noise_sigma_k:
+        Standard deviation of additive Gaussian read noise; 0 disables
+        noise (the default — the paper treats sensors as ideal inputs).
+    bias_k:
+        Systematic calibration offset added to every reading.  A
+        *negative* bias makes the sensor under-report — the dangerous
+        failure mode, since DTM then reacts late (see
+        ``tests/test_sensor_bias.py``).
+    rng:
+        Generator for read noise; required when ``noise_sigma_k > 0``.
+    """
+
+    def __init__(
+        self,
+        resolution_k: float = 0.5,
+        noise_sigma_k: float = 0.0,
+        bias_k: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        self.resolution_k = check_positive("resolution_k", resolution_k)
+        if noise_sigma_k < 0:
+            raise ValueError("noise_sigma_k must be >= 0")
+        if noise_sigma_k > 0 and rng is None:
+            raise ValueError("rng is required when noise_sigma_k > 0")
+        self.noise_sigma_k = float(noise_sigma_k)
+        self.bias_k = float(bias_k)
+        self._rng = rng
+
+    def read(self, true_temps_k: np.ndarray) -> np.ndarray:
+        """Return sensor readings for ground-truth temperatures."""
+        temps = np.asarray(true_temps_k, dtype=float) + self.bias_k
+        if self.noise_sigma_k > 0:
+            temps = temps + self._rng.normal(0.0, self.noise_sigma_k, temps.shape)
+        return np.round(temps / self.resolution_k) * self.resolution_k

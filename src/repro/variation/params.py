@@ -1,0 +1,90 @@
+"""Parameters of the process-variation model.
+
+The defaults are calibrated (see ``benchmarks/test_setup_variation_spread``)
+so that a population of chips exhibits the paper's quoted core-to-core
+frequency spread of 30-35 % at 1.13 V with per-core frequencies in the
+3-4 GHz band (Section V; Fig. 2(o) reports per-chip maxima of ~3.64 GHz
+and averages of ~3.0 GHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class VariationParams:
+    """Knobs of the correlated-Gaussian Vth variation model.
+
+    Parameters
+    ----------
+    mean:
+        Mean of the process parameter ``theta`` (a multiplicative Vth
+        factor); 1.0 means the nominal process corner.
+    sigma:
+        Standard deviation of ``theta``.  0.12 yields the paper's 30-35 %
+        chip-wide frequency spread given the min-over-critical-path
+        reduction of Eq. 1.
+    correlation_length_mm:
+        Length scale of the exponential spatial correlation
+        ``rho(d) = exp(-d / L)``.  A few millimetres, i.e. a couple of
+        core pitches, matching within-die correlation measurements.
+    grid_per_core:
+        The variation grid places ``grid_per_core x grid_per_core``
+        process-parameter points inside every core tile (the paper's
+        ``Nchip x Nchip`` grid "overlayed over cores").
+    critical_path_points:
+        How many of a core's grid points the critical path traverses
+        (the set ``S(CP, i)`` of Eq. 1).  The same relative pattern is
+        used in every tile because the cores are homogeneous copies of
+        one synthesized design.
+    frequency_scale_ghz:
+        The technology constant ``alpha`` of Eq. 1 in GHz: the frequency
+        a core would reach if every critical-path grid point sat exactly
+        at ``theta = 1``.
+    vdd:
+        Supply voltage in volts (1.13 V in the paper's setup).
+    vth_nominal:
+        Nominal threshold voltage in volts at the modeled node.
+    subthreshold_slope:
+        Non-ideality factor ``n`` of the subthreshold current; leakage
+        scales as ``exp(-(Vth - Vth_nom) / (n * V_T))``.
+    leakage_scale_bounds:
+        ``(low, high)`` clamp on the per-core manufacturing leakage
+        multiplier.  Dies outside this band fail wafer-level power
+        screening and are binned out, so the shipped population the
+        run-time manager sees is bounded.
+    """
+
+    mean: float = 1.0
+    sigma: float = 0.12
+    correlation_length_mm: float = 4.0
+    grid_per_core: int = 4
+    critical_path_points: int = 6
+    frequency_scale_ghz: float = 3.12
+    vdd: float = 1.13
+    vth_nominal: float = 0.32
+    subthreshold_slope: float = 1.8
+    leakage_scale_bounds: tuple = (0.25, 4.0)
+
+    def __post_init__(self) -> None:
+        check_positive("mean", self.mean)
+        check_fraction("sigma", self.sigma, inclusive=False)
+        check_positive("correlation_length_mm", self.correlation_length_mm)
+        if self.grid_per_core < 1:
+            raise ValueError("grid_per_core must be >= 1")
+        points_per_core = self.grid_per_core**2
+        if not 1 <= self.critical_path_points <= points_per_core:
+            raise ValueError(
+                "critical_path_points must lie in "
+                f"[1, {points_per_core}], got {self.critical_path_points}"
+            )
+        check_positive("frequency_scale_ghz", self.frequency_scale_ghz)
+        check_positive("vdd", self.vdd)
+        check_positive("vth_nominal", self.vth_nominal)
+        check_positive("subthreshold_slope", self.subthreshold_slope)
+        low, high = self.leakage_scale_bounds
+        if not 0 < low < high:
+            raise ValueError("leakage_scale_bounds must satisfy 0 < low < high")

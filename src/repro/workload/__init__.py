@@ -1,0 +1,34 @@
+"""Workloads: malleable multi-threaded applications with phase traces.
+
+Substitutes the paper's gem5+McPAT Parsec traces with synthetic
+equivalents that expose the same interface to the run-time manager:
+per-thread minimum frequency requirements (derived from throughput
+constraints), switching-activity phases over time, and PMOS duty cycles.
+Applications follow the malleable model [23, 24]: their thread count
+adapts to the number of powered-on cores.
+"""
+
+from repro.workload.profiles import WorkloadProfile, PARSEC_PROFILES, profile
+from repro.workload.traces import PhaseTrace
+from repro.workload.application import Application, ThreadSpec
+from repro.workload.mix import WorkloadMix, make_mix, paper_mix, random_mix
+from repro.workload.schedule import (
+    ArrivalEvent,
+    ArrivalSchedule,
+    poisson_arrivals,
+)
+
+__all__ = [
+    "Application",
+    "ArrivalEvent",
+    "ArrivalSchedule",
+    "poisson_arrivals",
+    "PARSEC_PROFILES",
+    "PhaseTrace",
+    "ThreadSpec",
+    "WorkloadMix",
+    "make_mix",
+    "paper_mix",
+    "profile",
+    "random_mix",
+]

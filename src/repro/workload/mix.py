@@ -1,0 +1,128 @@
+"""Workload mixes: sets of concurrently executing applications.
+
+A mix is sized to a target total thread count (the number of powered-on
+cores the DCM grants), exploiting application malleability: thread
+counts are distributed across the mix's applications proportionally,
+respecting each profile's bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.workload.application import Application, ThreadSpec
+from repro.workload.profiles import PARSEC_PROFILES, profile
+
+
+@dataclass
+class WorkloadMix:
+    """The applications concurrently executing during one epoch."""
+
+    applications: list[Application] = field(default_factory=list)
+
+    @property
+    def threads(self) -> list[ThreadSpec]:
+        """All runnable threads of all applications, in stable order."""
+        return [t for app in self.applications for t in app.threads]
+
+    @property
+    def num_threads(self) -> int:
+        """Total thread count across the mix."""
+        return sum(app.num_threads for app in self.applications)
+
+    def __iter__(self) -> Iterator[Application]:
+        return iter(self.applications)
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``"bodytrack#0 x16 + x264#1 x16"``."""
+        parts = [f"{app.name} x{app.num_threads}" for app in self.applications]
+        return " + ".join(parts) if parts else "(empty mix)"
+
+
+def _partition_threads(
+    profiles: Sequence, total_threads: int
+) -> list[int]:
+    """Split ``total_threads`` across profiles within malleability bounds."""
+    mins = np.array([p.min_threads for p in profiles])
+    maxs = np.array([p.max_threads for p in profiles])
+    if total_threads < mins.sum():
+        raise ValueError(
+            f"mix needs at least {int(mins.sum())} threads, got {total_threads}"
+        )
+    if total_threads > maxs.sum():
+        raise ValueError(
+            f"mix saturates at {int(maxs.sum())} threads, got {total_threads}"
+        )
+    counts = mins.copy()
+    remaining = total_threads - int(mins.sum())
+    # Round-robin the remainder so the split stays balanced and
+    # deterministic regardless of profile order quirks.
+    while remaining > 0:
+        progressed = False
+        for i in range(len(profiles)):
+            if remaining == 0:
+                break
+            if counts[i] < maxs[i]:
+                counts[i] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:  # pragma: no cover - guarded by the checks above
+            raise RuntimeError("thread partitioning stalled")
+    return [int(c) for c in counts]
+
+
+def make_mix(
+    names: Sequence[str],
+    total_threads: int,
+    rng: np.random.Generator,
+) -> WorkloadMix:
+    """Build a mix of the named benchmarks sized to ``total_threads``.
+
+    Thread requirements and traces are drawn from ``rng``; the same
+    generator state reproduces the mix exactly.
+    """
+    profiles = [profile(name) for name in names]
+    counts = _partition_threads(profiles, total_threads)
+    apps = [
+        Application.spawn(p, count, rng, instance=i)
+        for i, (p, count) in enumerate(zip(profiles, counts))
+    ]
+    return WorkloadMix(applications=apps)
+
+
+def paper_mix(total_threads: int, rng: np.random.Generator) -> WorkloadMix:
+    """The Fig. 2 mix: bodytrack (high) plus x264 (HD sequences)."""
+    return make_mix(["bodytrack", "x264"], total_threads, rng)
+
+
+def random_mix(
+    total_threads: int,
+    rng: np.random.Generator,
+    num_applications: int = 3,
+) -> WorkloadMix:
+    """Draw ``num_applications`` distinct benchmarks and size the mix.
+
+    Retries the draw when the sampled profiles cannot jointly reach
+    ``total_threads`` (bounds too tight), which terminates because the
+    full profile set can.
+    """
+    names = sorted(PARSEC_PROFILES)
+    if num_applications < 1 or num_applications > len(names):
+        raise ValueError(
+            f"num_applications must lie in [1, {len(names)}]"
+        )
+    for _ in range(100):
+        chosen = [names[i] for i in rng.choice(len(names), num_applications, replace=False)]
+        profiles = [profile(n) for n in chosen]
+        if (
+            sum(p.min_threads for p in profiles) <= total_threads
+            and sum(p.max_threads for p in profiles) >= total_threads
+        ):
+            return make_mix(chosen, total_threads, rng)
+    raise ValueError(
+        f"could not draw {num_applications} profiles covering "
+        f"{total_threads} threads"
+    )

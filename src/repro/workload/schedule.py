@@ -1,0 +1,127 @@
+"""Mid-epoch application arrivals.
+
+The paper's overhead discussion assumes new applications start *within*
+an aging epoch, "typically in intervals of several minutes after the
+previous decision" — each arrival triggers the fast online estimation
+path rather than a full epoch re-plan.  An :class:`ArrivalSchedule`
+lists when applications join the running mix during a fine-grained
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.workload.application import Application
+from repro.workload.profiles import PARSEC_PROFILES, profile
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One application joining the chip at ``time_s`` into the window.
+
+    ``duration_s`` is the application's run time; ``None`` means it
+    outlives the window (the default for long-running services).
+    """
+
+    time_s: float
+    application: Application
+    duration_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("arrival time must be non-negative")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError("duration must be positive when given")
+
+    @property
+    def departure_s(self) -> float:
+        """Absolute departure time (inf when open-ended)."""
+        if self.duration_s is None:
+            return float("inf")
+        return self.time_s + self.duration_s
+
+
+@dataclass
+class ArrivalSchedule:
+    """Time-ordered arrival events within one window."""
+
+    events: list[ArrivalEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: e.time_s)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ArrivalEvent]:
+        return iter(self.events)
+
+    def due(self, start_s: float, end_s: float) -> list[ArrivalEvent]:
+        """Events with ``start_s <= time < end_s`` (one control step)."""
+        return [e for e in self.events if start_s <= e.time_s < end_s]
+
+    @property
+    def total_threads(self) -> int:
+        """Threads across all arriving applications."""
+        return sum(e.application.num_threads for e in self.events)
+
+
+def poisson_arrivals(
+    window_s: float,
+    mean_interarrival_s: float,
+    rng: np.random.Generator,
+    threads_per_app: tuple[int, int] = (1, 4),
+    profile_names: Sequence[str] | None = None,
+    mean_duration_s: float | None = None,
+) -> ArrivalSchedule:
+    """Draw a Poisson arrival process of small applications.
+
+    Parameters
+    ----------
+    window_s:
+        Window length the schedule covers.
+    mean_interarrival_s:
+        Mean gap between arrivals (exponential).
+    threads_per_app:
+        Inclusive range of thread counts per arriving application
+        (clamped into each profile's malleability bounds).
+    profile_names:
+        Benchmark pool to draw from; defaults to all profiles.
+    mean_duration_s:
+        Mean (exponential) application run time; ``None`` makes every
+        arrival open-ended (it never departs within the window).
+    """
+    check_positive("window_s", window_s)
+    check_positive("mean_interarrival_s", mean_interarrival_s)
+    if mean_duration_s is not None:
+        check_positive("mean_duration_s", mean_duration_s)
+    lo, hi = threads_per_app
+    if not 1 <= lo <= hi:
+        raise ValueError("threads_per_app must satisfy 1 <= lo <= hi")
+    names = sorted(PARSEC_PROFILES) if profile_names is None else list(profile_names)
+
+    events = []
+    time_s = float(rng.exponential(mean_interarrival_s))
+    instance = 1000  # offset so arrival apps are distinguishable in ids
+    while time_s < window_s:
+        prof = profile(names[int(rng.integers(len(names)))])
+        count = int(
+            np.clip(rng.integers(lo, hi + 1), prof.min_threads, prof.max_threads)
+        )
+        app = Application.spawn(prof, count, rng, instance=instance)
+        duration = (
+            float(rng.exponential(mean_duration_s))
+            if mean_duration_s is not None
+            else None
+        )
+        events.append(
+            ArrivalEvent(time_s=time_s, application=app, duration_s=duration)
+        )
+        instance += 1
+        time_s += float(rng.exponential(mean_interarrival_s))
+    return ArrivalSchedule(events=events)

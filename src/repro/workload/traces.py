@@ -1,0 +1,94 @@
+"""Per-thread phase traces: piecewise-constant activity over time.
+
+Stands in for playing back gem5+McPAT power traces: a thread's switching
+activity holds for one phase, then jumps to a new level.  Phase lengths
+are exponentially distributed around the profile's mean, activity levels
+uniform within the profile's jitter band.  Traces are generated lazily
+but deterministically (the entire trace is a pure function of the
+generator seed), so replaying a simulation reproduces every phase
+boundary exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+class PhaseTrace:
+    """A deterministic piecewise-constant activity signal.
+
+    Parameters
+    ----------
+    mean_activity, activity_jitter:
+        Activity is uniform in ``[mean - jitter, mean + jitter]``.
+    phase_length_s:
+        Mean (exponential) phase duration.
+    rng:
+        Source of phase boundaries and levels; consumed incrementally as
+        the trace is extended.
+    """
+
+    _MIN_PHASE_S = 1e-3
+
+    def __init__(
+        self,
+        mean_activity: float,
+        activity_jitter: float,
+        phase_length_s: float,
+        rng: np.random.Generator,
+    ):
+        check_positive("phase_length_s", phase_length_s)
+        if not 0.0 <= mean_activity - activity_jitter:
+            raise ValueError("activity band extends below 0")
+        if mean_activity + activity_jitter > 1.0:
+            raise ValueError("activity band extends above 1")
+        self.mean_activity = float(mean_activity)
+        self.activity_jitter = float(activity_jitter)
+        self.phase_length_s = float(phase_length_s)
+        self._rng = rng
+        self._boundaries = [0.0]  # cumulative phase end times
+        self._levels: list[float] = []
+        self._extend_to(0.0)
+
+    def _draw_level(self) -> float:
+        if self.activity_jitter == 0.0:
+            return self.mean_activity
+        return float(
+            self._rng.uniform(
+                self.mean_activity - self.activity_jitter,
+                self.mean_activity + self.activity_jitter,
+            )
+        )
+
+    def _extend_to(self, time_s: float) -> None:
+        while self._boundaries[-1] <= time_s:
+            duration = max(
+                self._MIN_PHASE_S, float(self._rng.exponential(self.phase_length_s))
+            )
+            self._boundaries.append(self._boundaries[-1] + duration)
+            self._levels.append(self._draw_level())
+
+    def activity_at(self, time_s: float) -> float:
+        """Activity level at absolute time ``time_s`` (>= 0)."""
+        if time_s < 0:
+            raise ValueError("time must be non-negative")
+        self._extend_to(time_s)
+        index = int(np.searchsorted(self._boundaries, time_s, side="right")) - 1
+        return self._levels[index]
+
+    def mean_over(self, start_s: float, end_s: float) -> float:
+        """Time-weighted mean activity over ``[start, end)``."""
+        if end_s <= start_s:
+            raise ValueError("end must exceed start")
+        self._extend_to(end_s)
+        bounds = np.asarray(self._boundaries)
+        levels = np.asarray(self._levels)
+        starts = np.clip(bounds[:-1], start_s, end_s)
+        ends = np.clip(bounds[1:], start_s, end_s)
+        weights = ends - starts
+        total = weights.sum()
+        if total <= 0:
+            return self.activity_at(start_s)
+        return float((levels * weights).sum() / total)

@@ -1,0 +1,60 @@
+"""Shared fixtures: expensive objects are built once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aging import CoreAgingEstimator, build_aging_table
+from repro.floorplan import Floorplan, paper_floorplan
+from repro.power import PowerModel
+from repro.thermal import ThermalRCNetwork
+from repro.variation import Chip, VariationParams, generate_population
+
+
+@pytest.fixture(scope="session")
+def floorplan() -> Floorplan:
+    return paper_floorplan()
+
+
+@pytest.fixture(scope="session")
+def small_floorplan() -> Floorplan:
+    return Floorplan(4, 4)
+
+
+@pytest.fixture(scope="session")
+def population(floorplan):
+    return generate_population(3, seed=42, floorplan=floorplan)
+
+
+@pytest.fixture(scope="session")
+def chip(population) -> Chip:
+    return population[0]
+
+
+@pytest.fixture(scope="session")
+def network(floorplan) -> ThermalRCNetwork:
+    return ThermalRCNetwork(floorplan)
+
+
+@pytest.fixture(scope="session")
+def power_model(chip) -> PowerModel:
+    return PowerModel.for_chip(chip)
+
+
+@pytest.fixture(scope="session")
+def aging_table():
+    # A coarser grid than the production default keeps the session-wide
+    # build fast while exercising the same code paths.
+    estimator = CoreAgingEstimator()
+    return build_aging_table(
+        estimator,
+        temp_grid_k=np.arange(290.0, 431.0, 20.0),
+        duty_grid=np.concatenate([[0.0], np.geomspace(0.05, 1.0, 8)]),
+        age_grid_years=np.concatenate([[0.0], np.geomspace(0.1, 120.0, 16)]),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_params() -> VariationParams:
+    return VariationParams(grid_per_core=2, critical_path_points=3)

@@ -1,0 +1,70 @@
+"""Core-level aging estimation (Eq. 8) and Fig. 1(b) calibration."""
+
+import pytest
+
+from repro.aging import CoreAgingEstimator
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return CoreAgingEstimator()
+
+
+class TestRelativeFmax:
+    def test_unaged_is_one(self, estimator):
+        assert estimator.relative_fmax(358.0, 0.5, 0.0) == 1.0
+
+    def test_health_decreases_with_age(self, estimator):
+        h1 = estimator.relative_fmax(358.0, 0.5, 1.0)
+        h5 = estimator.relative_fmax(358.0, 0.5, 5.0)
+        h10 = estimator.relative_fmax(358.0, 0.5, 10.0)
+        assert 1.0 > h1 > h5 > h10 > 0.0
+
+    def test_health_decreases_with_temperature(self, estimator):
+        cool = estimator.relative_fmax(330.0, 0.5, 10.0)
+        hot = estimator.relative_fmax(400.0, 0.5, 10.0)
+        assert cool > hot
+
+    def test_health_decreases_with_duty(self, estimator):
+        idle = estimator.relative_fmax(358.0, 0.1, 10.0)
+        busy = estimator.relative_fmax(358.0, 0.9, 10.0)
+        assert idle > busy
+
+    def test_zero_duty_never_ages(self, estimator):
+        assert estimator.relative_fmax(400.0, 0.0, 10.0) == pytest.approx(1.0)
+
+    def test_consistency_with_delay_factor(self, estimator):
+        h = estimator.relative_fmax(358.0, 0.5, 10.0)
+        d = estimator.delay_increase_factor(358.0, 0.5, 10.0)
+        assert h * d == pytest.approx(1.0)
+
+
+class TestFig1bCalibration:
+    """The model must reproduce the paper's Fig. 1(b) LEON3 curves:
+    10-year delay growth ~1.05-1.1x at 25 C ranging to ~1.4x at 140 C."""
+
+    @pytest.mark.parametrize(
+        "temp_c,low,high",
+        [
+            (25.0, 1.03, 1.12),
+            (75.0, 1.12, 1.22),
+            (100.0, 1.20, 1.30),
+            (140.0, 1.33, 1.48),
+        ],
+    )
+    def test_delay_bands(self, estimator, temp_c, low, high):
+        factor = estimator.delay_increase_factor(temp_c + 273.15, 1.0, 10.0)
+        assert low < factor < high
+
+    def test_time_critical_early_temperature_critical_late(self, estimator):
+        """Fig. 1(b)'s split: early aging is dominated by time (steep
+        y^(1/6) start), late aging by temperature (curves fan out)."""
+        # Early: one year of aging at 75 C costs more than the extra
+        # degradation from 25->75 C at year 1.
+        spread_early = estimator.relative_fmax(298.0, 1.0, 1.0) - (
+            estimator.relative_fmax(348.0, 1.0, 1.0)
+        )
+        spread_late = estimator.relative_fmax(298.0, 1.0, 10.0) - (
+            estimator.relative_fmax(348.0, 1.0, 10.0)
+        )
+        assert spread_late > spread_early

@@ -1,0 +1,92 @@
+"""HealthState: epoch advancement and candidate previews."""
+
+import numpy as np
+import pytest
+
+from repro.aging import HealthState
+
+
+@pytest.fixture()
+def state(aging_table):
+    fmax = np.array([3.0, 3.5, 2.5, 4.0])
+    return HealthState(aging_table, fmax)
+
+
+class TestInitialState:
+    def test_starts_at_full_health(self, state):
+        np.testing.assert_allclose(state.health, 1.0)
+        assert state.elapsed_years == 0.0
+
+    def test_fmax_equals_initial(self, state):
+        np.testing.assert_allclose(state.fmax_ghz, state.fmax_init_ghz)
+
+    def test_rejects_nonpositive_fmax(self, aging_table):
+        with pytest.raises(ValueError):
+            HealthState(aging_table, np.array([3.0, -1.0]))
+
+
+class TestAdvance:
+    def test_health_declines_under_stress(self, state):
+        temps = np.full(4, 370.0)
+        duties = np.full(4, 0.8)
+        state.advance(temps, duties, 0.5)
+        assert (state.health < 1.0).all()
+        assert state.elapsed_years == pytest.approx(0.5)
+
+    def test_fmax_tracks_health(self, state):
+        temps = np.full(4, 370.0)
+        duties = np.full(4, 0.8)
+        state.advance(temps, duties, 0.5)
+        np.testing.assert_allclose(
+            state.fmax_ghz, state.fmax_init_ghz * state.health
+        )
+
+    def test_unstressed_core_spared(self, state):
+        temps = np.array([370.0, 370.0, 370.0, 330.0])
+        duties = np.array([0.8, 0.8, 0.8, 0.0])
+        state.advance(temps, duties, 1.0)
+        health = state.health
+        assert health[3] == pytest.approx(1.0, abs=1e-9)
+        assert (health[:3] < 1.0).all()
+
+    def test_hotter_core_ages_faster(self, state):
+        temps = np.array([340.0, 400.0, 370.0, 370.0])
+        duties = np.full(4, 0.8)
+        state.advance(temps, duties, 1.0)
+        health = state.health
+        assert health[0] > health[1]
+
+    def test_multi_epoch_accumulation(self, state):
+        temps = np.full(4, 370.0)
+        duties = np.full(4, 0.8)
+        for _ in range(4):
+            state.advance(temps, duties, 0.5)
+        assert state.elapsed_years == pytest.approx(2.0)
+        # Roughly matches a single 2-year epoch under constant conditions.
+        fresh = HealthState(state.table, state.fmax_init_ghz)
+        fresh.advance(temps, duties, 2.0)
+        np.testing.assert_allclose(state.health, fresh.health, atol=5e-3)
+
+    def test_rejects_negative_epoch(self, state):
+        with pytest.raises(ValueError):
+            state.advance(np.full(4, 350.0), np.full(4, 0.5), -0.5)
+
+    def test_rejects_wrong_shapes(self, state):
+        with pytest.raises(ValueError):
+            state.advance(np.full(3, 350.0), np.full(4, 0.5), 0.5)
+
+
+class TestEstimateNext:
+    def test_preview_does_not_mutate(self, state):
+        temps = np.full(4, 380.0)
+        duties = np.full(4, 0.9)
+        preview = state.estimate_next(temps, duties, 1.0)
+        np.testing.assert_allclose(state.health, 1.0)
+        assert (preview < 1.0).all()
+
+    def test_preview_matches_subsequent_advance(self, state):
+        temps = np.full(4, 380.0)
+        duties = np.full(4, 0.9)
+        preview = state.estimate_next(temps, duties, 1.0)
+        state.advance(temps, duties, 1.0)
+        np.testing.assert_allclose(state.health, preview)

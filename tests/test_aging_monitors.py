@@ -1,0 +1,41 @@
+"""Aging sensor quantization."""
+
+import numpy as np
+import pytest
+
+from repro.aging import AgingSensor
+
+
+class TestAgingSensor:
+    def test_quantizes_downward(self):
+        sensor = AgingSensor(resolution=0.01)
+        out = sensor.read(np.array([0.999, 0.955]))
+        np.testing.assert_allclose(out, [0.99, 0.95])
+
+    def test_full_health_reads_full(self):
+        sensor = AgingSensor(resolution=0.01)
+        assert sensor.read(np.array([1.0]))[0] == pytest.approx(1.0)
+
+    def test_never_reports_above_truth(self):
+        sensor = AgingSensor(resolution=0.005)
+        truth = np.random.default_rng(0).uniform(0.5, 1.0, 200)
+        reads = sensor.read(truth)
+        assert (reads <= truth + 1e-12).all()
+
+    def test_error_bounded_by_resolution(self):
+        sensor = AgingSensor(resolution=0.005)
+        truth = np.random.default_rng(1).uniform(0.5, 1.0, 200)
+        reads = sensor.read(truth)
+        assert (truth - reads).max() <= 0.005 + 1e-12
+
+    def test_never_reports_zero(self):
+        sensor = AgingSensor(resolution=0.01)
+        assert sensor.read(np.array([0.001]))[0] > 0.0
+
+    def test_rejects_health_above_one(self):
+        with pytest.raises(ValueError):
+            AgingSensor().read(np.array([1.1]))
+
+    def test_rejects_resolution_of_one(self):
+        with pytest.raises(ValueError):
+            AgingSensor(resolution=1.0)

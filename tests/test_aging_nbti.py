@@ -1,0 +1,103 @@
+"""Eq. 7 NBTI model: shape, monotonicity, inverse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aging import NBTIModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return NBTIModel()
+
+
+class TestDeltaVth:
+    def test_zero_age_no_shift(self, model):
+        assert model.delta_vth(358.0, 0.0, 0.5) == 0.0
+
+    def test_zero_duty_no_shift(self, model):
+        assert model.delta_vth(358.0, 10.0, 0.0) == 0.0
+
+    def test_monotone_in_temperature(self, model):
+        temps = np.linspace(300.0, 420.0, 20)
+        shifts = model.delta_vth(temps, 10.0, 0.5)
+        assert (np.diff(shifts) > 0).all()
+
+    def test_monotone_in_age(self, model):
+        years = np.linspace(0.5, 15.0, 20)
+        shifts = model.delta_vth(358.0, years, 0.5)
+        assert (np.diff(shifts) > 0).all()
+
+    def test_monotone_in_duty(self, model):
+        duties = np.linspace(0.05, 1.0, 20)
+        shifts = model.delta_vth(358.0, 10.0, duties)
+        assert (np.diff(shifts) > 0).all()
+
+    def test_sixth_root_time_envelope(self, model):
+        """Doubling the age multiplies the shift by 2^(1/6)."""
+        one = model.delta_vth(358.0, 1.0, 0.5)
+        two = model.delta_vth(358.0, 2.0, 0.5)
+        assert two / one == pytest.approx(2 ** (1 / 6))
+
+    def test_vdd_fourth_power(self):
+        low = NBTIModel(vdd=1.0).delta_vth(358.0, 10.0, 0.5)
+        high = NBTIModel(vdd=1.2).delta_vth(358.0, 10.0, 0.5)
+        assert high / low == pytest.approx(1.2**4)
+
+    def test_ten_to_fifteen_celsius_rule(self, model):
+        """Section I: 10-15 C can make a large MTTF difference; our model
+        shows a clearly super-linear stress increase across that band."""
+        base = model.delta_vth(358.0, 10.0, 0.5)
+        hotter = model.delta_vth(358.0 + 12.5, 10.0, 0.5)
+        assert hotter / base > 1.1
+
+    def test_rejects_negative_age(self, model):
+        with pytest.raises(ValueError):
+            model.delta_vth(358.0, -1.0, 0.5)
+
+    def test_rejects_duty_out_of_range(self, model):
+        with pytest.raises(ValueError):
+            model.delta_vth(358.0, 1.0, 1.5)
+
+    def test_rejects_nonpositive_temperature(self, model):
+        with pytest.raises(ValueError):
+            model.delta_vth(0.0, 1.0, 0.5)
+
+
+class TestEquivalentAge:
+    def test_exact_roundtrip(self, model):
+        shift = model.delta_vth(365.0, 7.3, 0.62)
+        age = model.equivalent_age_years(shift, 365.0, 0.62)
+        assert age == pytest.approx(7.3, rel=1e-9)
+
+    def test_zero_shift_zero_age(self, model):
+        assert model.equivalent_age_years(0.0, 358.0, 0.5) == 0.0
+
+    def test_zero_duty_positive_shift_is_infinite(self, model):
+        assert np.isinf(model.equivalent_age_years(0.01, 358.0, 0.0))
+
+    def test_cooler_reference_gives_older_equivalent(self, model):
+        """The same shift takes longer to accumulate at a cooler
+        temperature, so the equivalent age is larger."""
+        shift = model.delta_vth(370.0, 5.0, 0.8)
+        cool_age = model.equivalent_age_years(shift, 340.0, 0.8)
+        assert cool_age > 5.0
+
+    def test_rejects_negative_shift(self, model):
+        with pytest.raises(ValueError):
+            model.equivalent_age_years(-0.1, 358.0, 0.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    temp=st.floats(290.0, 430.0),
+    years=st.floats(0.01, 20.0),
+    duty=st.floats(0.01, 1.0),
+)
+def test_property_roundtrip_inverse(temp, years, duty):
+    model = NBTIModel()
+    shift = model.delta_vth(temp, years, duty)
+    recovered = model.equivalent_age_years(shift, temp, duty)
+    assert recovered == pytest.approx(years, rel=1e-6)

@@ -1,0 +1,89 @@
+"""Short-term stress/recovery NBTI (Fig. 1(a) extension)."""
+
+import numpy as np
+import pytest
+
+from repro.aging import ShortTermNBTI
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ShortTermNBTI(temp_k=358.0, recovery_time_s=50.0)
+
+
+def square_wave(on, off, cycles):
+    return np.tile(
+        np.concatenate([np.ones(on, dtype=bool), np.zeros(off, dtype=bool)]), cycles
+    )
+
+
+class TestStressPhase:
+    def test_shift_grows_under_stress(self, model):
+        trace = model.simulate(np.ones(200, dtype=bool), dt_s=10.0)
+        assert (np.diff(trace.total_shift_v) > 0).all()
+
+    def test_no_stress_no_shift(self, model):
+        trace = model.simulate(np.zeros(100, dtype=bool), dt_s=10.0)
+        np.testing.assert_allclose(trace.total_shift_v, 0.0)
+
+    def test_components_sum(self, model):
+        trace = model.simulate(square_wave(50, 50, 3), dt_s=5.0)
+        np.testing.assert_allclose(
+            trace.total_shift_v,
+            trace.permanent_shift_v + trace.recoverable_shift_v,
+        )
+
+
+class TestRecoveryPhase:
+    def test_partial_recovery(self, model):
+        """Fig. 1(a): the shift relaxes in the recovery phase but never
+        returns to zero (the permanent component remains)."""
+        trace = model.simulate(square_wave(100, 100, 1), dt_s=5.0)
+        peak = trace.total_shift_v[99]
+        end = trace.total_shift_v[-1]
+        assert end < peak  # recovered something
+        assert end > 0.0  # but not everything
+        assert end >= trace.permanent_shift_v[-1] - 1e-15
+
+    def test_recoverable_decays_exponentially(self, model):
+        trace = model.simulate(square_wave(100, 100, 1), dt_s=5.0)
+        r = trace.recoverable_shift_v[100:]
+        ratios = r[1:] / r[:-1]
+        np.testing.assert_allclose(ratios, np.exp(-5.0 / 50.0), rtol=1e-9)
+
+    def test_sawtooth_ratchets_upward(self, model):
+        """Across repeated stress/recovery cycles the local minima climb
+        along the long-term envelope."""
+        trace = model.simulate(square_wave(50, 50, 6), dt_s=10.0)
+        minima = [trace.total_shift_v[100 * k - 1] for k in range(1, 7)]
+        assert all(b > a for a, b in zip(minima, minima[1:]))
+
+
+class TestLongTermConsistency:
+    def test_duty_cycle_equivalence(self, model):
+        """The paper folds short-term behaviour into Eq. 7's duty cycle;
+        the simulated square wave must land within a factor ~2 of the
+        closed form (the recoverable ripple accounts for the rest)."""
+        simulated, eq7 = model.duty_cycle_equivalence(
+            duty=0.5, period_s=1000.0, cycles=50
+        )
+        assert 0.3 * eq7 < simulated < 3.0 * eq7
+
+    def test_higher_duty_more_shift(self, model):
+        low, _ = model.duty_cycle_equivalence(0.2, 1000.0, 20)
+        high, _ = model.duty_cycle_equivalence(0.9, 1000.0, 20)
+        assert high > low
+
+
+class TestValidation:
+    def test_rejects_empty_pattern(self, model):
+        with pytest.raises(ValueError):
+            model.simulate(np.array([], dtype=bool), dt_s=1.0)
+
+    def test_rejects_nonpositive_dt(self, model):
+        with pytest.raises(ValueError):
+            model.simulate(np.ones(5, dtype=bool), dt_s=0.0)
+
+    def test_rejects_bad_recoverable_fraction(self):
+        with pytest.raises(ValueError):
+            ShortTermNBTI(recoverable_fraction=1.0)

@@ -1,0 +1,161 @@
+"""3D aging tables: interpolation, inverse lookup, table walks."""
+
+import numpy as np
+import pytest
+
+from repro.aging import AgingTable, CoreAgingEstimator
+
+
+class TestForwardLookup:
+    def test_matches_estimator_at_grid_points(self, aging_table):
+        est = CoreAgingEstimator()
+        t = aging_table.temp_grid_k[3]
+        d = aging_table.duty_grid[2]
+        y = aging_table.age_grid_years[5]
+        assert aging_table.health(t, d, y) == pytest.approx(
+            est.relative_fmax(t, d, y), rel=1e-12
+        )
+
+    def test_interpolation_error_small(self, aging_table):
+        """Off-grid lookups stay close to the exact estimator."""
+        est = CoreAgingEstimator()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            t = rng.uniform(300.0, 420.0)
+            d = rng.uniform(0.1, 1.0)
+            y = rng.uniform(0.5, 12.0)
+            exact = est.relative_fmax(t, d, y)
+            approx = float(aging_table.health(t, d, y))
+            assert abs(approx - exact) < 0.01
+
+    def test_monotone_along_age(self, aging_table):
+        years = np.linspace(0.0, 20.0, 30)
+        h = aging_table.health(np.full(30, 370.0), np.full(30, 0.7), years)
+        assert (np.diff(h) <= 1e-12).all()
+
+    def test_clamps_outside_grid(self, aging_table):
+        inside = aging_table.health(430.0, 1.0, 120.0)
+        outside = aging_table.health(500.0, 1.0, 500.0)
+        assert outside == pytest.approx(inside)
+
+    def test_broadcasts(self, aging_table):
+        out = aging_table.health(np.full(5, 350.0), 0.5, np.linspace(1, 5, 5))
+        assert out.shape == (5,)
+
+
+class TestEquivalentAge:
+    def test_roundtrip_on_age_grid(self, aging_table):
+        y = aging_table.age_grid_years[7]
+        h = aging_table.health(350.0, 0.6, y)
+        recovered = aging_table.equivalent_age(350.0, 0.6, h)
+        assert recovered[0] == pytest.approx(y, rel=1e-6)
+
+    def test_full_health_is_age_zero(self, aging_table):
+        assert aging_table.equivalent_age(350.0, 0.6, 1.0)[0] == 0.0
+
+    def test_very_low_health_clamps_to_edge(self, aging_table):
+        age = aging_table.equivalent_age(350.0, 0.6, 0.01)
+        assert age[0] == aging_table.max_age_years
+
+    def test_zero_duty_any_health_maps_to_edge_or_zero(self, aging_table):
+        """A zero-duty curve is flat at 1.0: degraded health has no
+        finite equivalent age; the lookup must not crash or return NaN."""
+        age = aging_table.equivalent_age(350.0, 0.0, 0.9)
+        assert np.isfinite(age).all()
+
+    def test_hotter_reference_gives_younger_equivalent(self, aging_table):
+        h = aging_table.health(340.0, 0.6, 8.0)
+        age_hot = aging_table.equivalent_age(400.0, 0.6, h)
+        age_cool = aging_table.equivalent_age(340.0, 0.6, h)
+        assert age_hot[0] < age_cool[0]
+
+    def test_batch_vectorization(self, aging_table):
+        temps = np.array([340.0, 360.0, 380.0])
+        duties = np.array([0.4, 0.6, 0.8])
+        healths = np.array([0.95, 0.9, 0.85])
+        ages = aging_table.equivalent_age(temps, duties, healths)
+        assert ages.shape == (3,)
+        for i in range(3):
+            single = aging_table.equivalent_age(
+                temps[i], duties[i], healths[i]
+            )
+            assert ages[i] == pytest.approx(single[0])
+
+
+class TestNextHealth:
+    def test_never_increases_health(self, aging_table):
+        rng = np.random.default_rng(1)
+        temps = rng.uniform(310.0, 410.0, 50)
+        duties = rng.uniform(0.0, 1.0, 50)
+        current = rng.uniform(0.8, 1.0, 50)
+        nxt = aging_table.next_health(temps, duties, current, 0.5)
+        assert (nxt <= current + 1e-12).all()
+
+    def test_zero_epoch_preserves_health(self, aging_table):
+        current = np.array([0.93, 0.97])
+        nxt = aging_table.next_health(
+            np.array([350.0, 370.0]), np.array([0.5, 0.5]), current, 0.0
+        )
+        np.testing.assert_allclose(nxt, current, atol=1e-9)
+
+    def test_matches_continuous_aging_when_conditions_constant(self, aging_table):
+        """Walking the table in two half-epochs equals one full epoch
+        when (T, d) stay the same — the equivalent-age composition law."""
+        h0 = np.array([1.0])
+        direct = aging_table.next_health(360.0, 0.7, h0, 2.0)
+        stepped = aging_table.next_health(
+            360.0, 0.7, aging_table.next_health(360.0, 0.7, h0, 1.0), 1.0
+        )
+        np.testing.assert_allclose(stepped, direct, atol=1e-3)
+
+    def test_zero_duty_epoch_is_free(self, aging_table):
+        """Cores that stay dark all epoch do not age."""
+        current = np.array([0.9])
+        nxt = aging_table.next_health(400.0, 0.0, current, 1.0)
+        assert nxt[0] == pytest.approx(0.9, abs=1e-9)
+
+    def test_rejects_negative_epoch(self, aging_table):
+        with pytest.raises(ValueError):
+            aging_table.next_health(350.0, 0.5, np.array([0.9]), -1.0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, aging_table, tmp_path):
+        path = str(tmp_path / "table.npz")
+        aging_table.save(path)
+        loaded = AgingTable.load(path)
+        np.testing.assert_array_equal(loaded.values, aging_table.values)
+        np.testing.assert_array_equal(loaded.temp_grid_k, aging_table.temp_grid_k)
+
+
+class TestValidation:
+    def test_rejects_wrong_value_shape(self, aging_table):
+        with pytest.raises(ValueError):
+            AgingTable(
+                aging_table.temp_grid_k,
+                aging_table.duty_grid,
+                aging_table.age_grid_years,
+                aging_table.values[:-1],
+            )
+
+    def test_rejects_nonmonotone_grid(self, aging_table):
+        bad = aging_table.temp_grid_k.copy()
+        bad[1] = bad[0]
+        with pytest.raises(ValueError):
+            AgingTable(
+                bad,
+                aging_table.duty_grid,
+                aging_table.age_grid_years,
+                aging_table.values,
+            )
+
+    def test_rejects_health_above_one(self, aging_table):
+        bad = aging_table.values.copy()
+        bad[0, 0, 0] = 1.5
+        with pytest.raises(ValueError):
+            AgingTable(
+                aging_table.temp_grid_k,
+                aging_table.duty_grid,
+                aging_table.age_grid_years,
+                bad,
+            )

@@ -1,0 +1,70 @@
+"""Chip-wide Vdd scaling trade-off (the FaceLift contrast)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.facelift import (
+    aging_equivalent_duty_scale,
+    facelift_tradeoff,
+    frequency_scale,
+)
+
+
+class TestFrequencyScale:
+    def test_unity_at_reference(self):
+        assert frequency_scale(1.13) == pytest.approx(1.0)
+
+    def test_lower_vdd_slower(self):
+        assert frequency_scale(1.0) < 1.0
+
+    def test_monotone(self):
+        levels = np.linspace(0.8, 1.2, 9)
+        scales = [frequency_scale(v) for v in levels]
+        assert all(b > a for a, b in zip(scales, scales[1:]))
+
+    def test_rejects_vdd_below_vth(self):
+        with pytest.raises(ValueError):
+            frequency_scale(0.3)
+
+
+class TestDutyEquivalence:
+    def test_identity_at_reference(self):
+        assert aging_equivalent_duty_scale(1.13) == pytest.approx(1.0)
+
+    def test_fourth_power_consistency(self):
+        """The (V/V0)^24 duty identity reproduces Eq. 7's Vdd^4 exactly:
+        dVth(V, d) == dVth(V0, d * (V/V0)^24)."""
+        from repro.aging import NBTIModel
+
+        v0, v = 1.13, 1.0
+        duty = 0.5
+        direct = NBTIModel(vdd=v).delta_vth(358.0, 10.0, duty)
+        equivalent = NBTIModel(vdd=v0).delta_vth(
+            358.0, 10.0, duty * aging_equivalent_duty_scale(v, v0)
+        )
+        assert direct == pytest.approx(equivalent, rel=1e-12)
+
+
+class TestTradeoffTable:
+    def test_lower_vdd_better_health_lower_freq(self):
+        points = facelift_tradeoff(np.array([0.98, 1.05, 1.13]))
+        healths = [p.health_10y for p in points]
+        freqs = [p.frequency_scale for p in points]
+        assert all(b < a for a, b in zip(healths, healths[1:]))
+        assert all(b > a for a, b in zip(freqs, freqs[1:]))
+
+    def test_reference_point(self):
+        points = facelift_tradeoff(np.array([1.13]))
+        assert points[0].frequency_scale == pytest.approx(1.0)
+        assert points[0].dynamic_power_scale == pytest.approx(1.0)
+        assert 0.0 < points[0].health_10y < 1.0
+
+    def test_aging_lever_is_strong(self):
+        """A ~13 % supply drop buys back a large share of the 10-year
+        health loss — why FaceLift works — at a real frequency cost —
+        why Hayat's per-core approach is attractive instead."""
+        ref, low = facelift_tradeoff(np.array([1.13, 0.98]))
+        loss_ref = 1.0 - ref.health_10y
+        loss_low = 1.0 - low.health_10y
+        assert loss_low < 0.6 * loss_ref
+        assert low.frequency_scale < 0.95

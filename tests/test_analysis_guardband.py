@@ -1,0 +1,70 @@
+"""Guardband analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    chip_level_guardband_ghz,
+    core_level_advantage_fraction,
+    guardband_loss_fraction,
+)
+
+
+@pytest.fixture()
+def trajectory():
+    # 3 cores: start at 3.4/3.0/2.6, degrade linearly over 5 epochs.
+    init = np.array([3.4, 3.0, 2.6])
+    losses = np.linspace(0.0, 0.4, 5)
+    traj = init[None, :] - losses[:, None]
+    return init, traj
+
+
+class TestChipLevelGuardband:
+    def test_locks_to_worst_core_end_of_life(self, trajectory):
+        init, traj = trajectory
+        assert chip_level_guardband_ghz(init, traj) == pytest.approx(2.2)
+
+    def test_loss_fraction(self, trajectory):
+        init, traj = trajectory
+        loss = guardband_loss_fraction(init, traj)
+        assert loss == pytest.approx((3.0 - 2.2) / 3.0)
+
+    def test_paper_magnitude_on_simulated_chip(self, chip, aging_table):
+        """On a real simulated lifetime the chip-level guardband costs
+        >= 20 % of the initial average frequency — the Section I claim."""
+        from repro.core import HayatManager
+        from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig
+
+        cfg = SimulationConfig(
+            lifetime_years=10.0, dark_fraction_min=0.5, window_s=5.0, seed=3
+        )
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        result = LifetimeSimulator(cfg).run(ctx, HayatManager())
+        loss = guardband_loss_fraction(
+            result.fmax_init_ghz, result.fmax_trajectory_ghz()
+        )
+        assert loss > 0.20
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            chip_level_guardband_ghz(np.ones(3), np.ones(3))
+
+    def test_rejects_nonpositive_frequencies(self):
+        with pytest.raises(ValueError):
+            chip_level_guardband_ghz(np.ones(2), np.array([[1.0, -1.0]]))
+
+
+class TestCoreLevelAdvantage:
+    def test_positive_whenever_variation_exists(self, trajectory):
+        init, traj = trajectory
+        assert core_level_advantage_fraction(init, traj) > 0.0
+
+    def test_zero_for_uniform_static_chip(self):
+        init = np.full(4, 3.0)
+        traj = np.full((3, 4), 3.0)
+        assert core_level_advantage_fraction(init, traj) == pytest.approx(0.0)
+
+    def test_value(self, trajectory):
+        init, traj = trajectory
+        expected = traj.mean() / 2.2 - 1.0
+        assert core_level_advantage_fraction(init, traj) == pytest.approx(expected)

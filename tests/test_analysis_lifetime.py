@@ -1,0 +1,81 @@
+"""Lifetime-gain arithmetic (Fig. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    lifetime_at_requirement,
+    lifetime_gain_years,
+    requirement_for_lifetime,
+)
+
+
+@pytest.fixture()
+def trajectories():
+    years = np.linspace(0.0, 10.0, 21)
+    baseline = 3.0 - 0.05 * years  # loses 0.5 GHz over 10 years
+    policy = 3.0 - 0.03 * years  # ages slower
+    return years, baseline, policy
+
+
+class TestRequirement:
+    def test_interpolates(self, trajectories):
+        years, baseline, _ = trajectories
+        assert requirement_for_lifetime(years, baseline, 3.0) == pytest.approx(2.85)
+
+    def test_rejects_outside_span(self, trajectories):
+        years, baseline, _ = trajectories
+        with pytest.raises(ValueError):
+            requirement_for_lifetime(years, baseline, 12.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            requirement_for_lifetime(np.arange(3.0), np.arange(4.0), 1.0)
+
+
+class TestLifetimeAtRequirement:
+    def test_exact_crossing(self, trajectories):
+        years, baseline, _ = trajectories
+        # baseline hits 2.85 GHz exactly at year 3
+        assert lifetime_at_requirement(years, baseline, 2.85) == pytest.approx(3.0)
+
+    def test_never_violated_returns_span(self, trajectories):
+        years, baseline, _ = trajectories
+        assert lifetime_at_requirement(years, baseline, 1.0) == pytest.approx(10.0)
+
+    def test_fresh_violation_returns_zero(self, trajectories):
+        years, baseline, _ = trajectories
+        assert lifetime_at_requirement(years, baseline, 3.5) == pytest.approx(0.0)
+
+
+class TestGain:
+    def test_analytic_gain(self, trajectories):
+        """Baseline slope -0.05, policy slope -0.03: the requirement at
+        target L is 3 - 0.05 L, which the policy sustains to
+        (0.05/0.03) L, so the gain is (2/3) L."""
+        years, baseline, policy = trajectories
+        assert lifetime_gain_years(years, baseline, policy, 3.0) == pytest.approx(
+            2.0
+        )
+
+    def test_gain_grows_with_target(self, trajectories):
+        """The paper's headline: savings grow with the lifetime
+        requirement (3 months at 3 years, much more at 10)."""
+        years, baseline, policy = trajectories
+        g3 = lifetime_gain_years(years, baseline, policy, 3.0)
+        g5 = lifetime_gain_years(years, baseline, policy, 5.0)
+        assert g5 > g3
+
+    def test_identical_trajectories_zero_gain(self, trajectories):
+        years, baseline, _ = trajectories
+        assert lifetime_gain_years(years, baseline, baseline, 4.0) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_gain_clipped_by_span(self, trajectories):
+        """When the policy never drops below the requirement inside the
+        simulated window, the gain reports the span's remainder."""
+        years, baseline, policy = trajectories
+        flat = np.full_like(baseline, 3.0)
+        gain = lifetime_gain_years(years, baseline, flat, 3.0)
+        assert gain == pytest.approx(7.0)

@@ -1,0 +1,63 @@
+"""Arrhenius MTTF arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    acceleration_factor,
+    mttf_doubling_delta_k,
+    relative_mttf,
+)
+
+
+class TestAccelerationFactor:
+    def test_unity_at_reference(self):
+        assert acceleration_factor(345.0, reference_temp_k=345.0) == pytest.approx(
+            1.0
+        )
+
+    def test_monotone_in_temperature(self):
+        temps = np.linspace(320.0, 400.0, 15)
+        factors = acceleration_factor(temps)
+        assert (np.diff(factors) > 0).all()
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            acceleration_factor(0.0)
+
+
+class TestPaperClaim:
+    def test_ten_to_fifteen_kelvin_doubles_mttf(self):
+        """Section I / [22]: a 10-15 C difference -> 2x MTTF."""
+        delta = mttf_doubling_delta_k(360.0)
+        assert 10.0 <= delta <= 15.0
+
+    def test_doubling_delta_is_consistent(self):
+        delta = mttf_doubling_delta_k(360.0)
+        ratio = relative_mttf(
+            np.array([360.0 - delta]), np.array([360.0])
+        )
+        assert ratio == pytest.approx(2.0, rel=1e-6)
+
+
+class TestRelativeMTTF:
+    def test_identical_histories_unity(self):
+        temps = np.array([340.0, 360.0, 355.0])
+        assert relative_mttf(temps, temps) == pytest.approx(1.0)
+
+    def test_cooler_history_lasts_longer(self):
+        cool = np.array([340.0, 345.0, 350.0])
+        hot = np.array([365.0, 370.0, 375.0])
+        assert relative_mttf(cool, hot) > 1.5
+
+    def test_rejects_empty_history(self):
+        with pytest.raises(ValueError):
+            relative_mttf(np.array([]), np.array([350.0]))
+
+    def test_transient_spike_hurts(self):
+        """A brief excursion raises the mean failure rate even when the
+        average temperature barely moves (exponential sensitivity)."""
+        steady = np.full(10, 350.0)
+        spiky = steady.copy()
+        spiky[0] = 395.0
+        assert relative_mttf(spiky, steady) < 0.9

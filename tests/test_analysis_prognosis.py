@@ -1,0 +1,88 @@
+"""Online lifetime prognosis from health history."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_health_trend, prognose_lifetime
+
+
+def synthetic_history(c=0.05, years_max=3.0, samples=7, noise=0.0, seed=0):
+    years = np.linspace(0.0, years_max, samples)
+    health = 1.0 - c * years ** (1.0 / 6.0)
+    if noise > 0:
+        health = health + np.random.default_rng(seed).normal(0, noise, samples)
+        health = np.clip(health, 1e-3, 1.0)
+    return years, health
+
+
+class TestFit:
+    def test_exact_recovery(self):
+        years, health = synthetic_history(c=0.07)
+        c, rms = fit_health_trend(years, health)
+        assert c == pytest.approx(0.07, rel=1e-9)
+        assert rms < 1e-12
+
+    def test_noisy_recovery(self):
+        years, health = synthetic_history(c=0.07, samples=40, noise=0.002)
+        c, rms = fit_health_trend(years, health)
+        assert c == pytest.approx(0.07, rel=0.1)
+        assert rms < 0.01
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            fit_health_trend(np.array([1.0]), np.array([0.9]))
+        with pytest.raises(ValueError):
+            fit_health_trend(np.array([0.0, 1.0]), np.array([0.9, 1.2]))
+        with pytest.raises(ValueError):
+            fit_health_trend(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+
+
+class TestPrognosis:
+    def test_projects_crossing_analytically(self):
+        """With 1 - h = c t^(1/6), the threshold h* is crossed at
+        t = ((1-h*)/c)^6."""
+        years, health = synthetic_history(c=0.05)
+        prognosis = prognose_lifetime(years, health, health_threshold=0.9)
+        assert prognosis.projected_crossing_years == pytest.approx(
+            (0.1 / 0.05) ** 6, rel=1e-9
+        )
+
+    def test_no_degradation_infinite(self):
+        years = np.linspace(0.0, 3.0, 5)
+        prognosis = prognose_lifetime(years, np.ones(5), 0.9)
+        assert np.isinf(prognosis.projected_crossing_years)
+
+    def test_early_samples_predict_late_crossing(self):
+        """Three years of observation predict a ~15-year crossing to
+        within a small relative error — prognosis years ahead."""
+        c = 0.0366  # crosses h=0.9 near 15.6 years
+        true_crossing = (0.1 / c) ** 6
+        years, health = synthetic_history(c=c, years_max=3.0, samples=30,
+                                          noise=0.001, seed=3)
+        prognosis = prognose_lifetime(years, health, 0.9)
+        assert prognosis.projected_crossing_years == pytest.approx(
+            true_crossing, rel=0.35
+        )
+
+    def test_rejects_bad_threshold(self):
+        years, health = synthetic_history()
+        with pytest.raises(ValueError):
+            prognose_lifetime(years, health, 1.5)
+
+    def test_on_simulated_trajectory(self, chip, aging_table):
+        """Fit the simulator's own health output: the projection is
+        finite and beyond the observed window."""
+        from repro.core import HayatManager
+        from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig
+
+        cfg = SimulationConfig(
+            lifetime_years=3.0, epoch_years=0.5, dark_fraction_min=0.5,
+            window_s=5.0, seed=8,
+        )
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        result = LifetimeSimulator(cfg).run(ctx, HayatManager())
+        years = result.years()
+        avg_health = result.health_trajectory().mean(axis=1)
+        prognosis = prognose_lifetime(years, avg_health, 0.8)
+        assert prognosis.projected_crossing_years > years[-1]
+        assert np.isfinite(prognosis.projected_crossing_years)

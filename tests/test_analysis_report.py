@@ -1,0 +1,54 @@
+"""Campaign report generation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import campaign_report
+from repro.baselines import VAAManager
+from repro.core import HayatManager
+from repro.sim import SimulationConfig, run_campaign
+from repro.variation import generate_population
+
+
+@pytest.fixture(scope="module")
+def campaign(aging_table):
+    cfg = SimulationConfig(
+        lifetime_years=1.0, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=5.0, seed=21,
+    )
+    return run_campaign(
+        [VAAManager(), HayatManager()],
+        config=cfg,
+        population=generate_population(2, seed=3),
+        table=aging_table,
+    )
+
+
+class TestReport:
+    def test_contains_all_sections(self, campaign):
+        report = campaign_report(campaign)
+        assert "# Campaign report" in report
+        assert "Normalized comparison" in report
+        assert "Average frequency over the lifetime" in report
+        assert "Lifetime gains" in report
+
+    def test_metadata_header(self, campaign):
+        report = campaign_report(campaign)
+        assert "chips: 2" in report
+        assert "minimum dark silicon: 50 %" in report
+        assert "vaa, hayat" in report
+
+    def test_all_four_figure_metrics_listed(self, campaign):
+        report = campaign_report(campaign)
+        for label in ("Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11"):
+            assert label in report
+
+    def test_rejects_unknown_policy(self, campaign):
+        with pytest.raises(ValueError, match="lacks"):
+            campaign_report(campaign, policy="nonexistent")
+
+    def test_short_campaign_handles_lifetime_section(self, campaign):
+        """A 1-year campaign cannot evaluate 3-year targets; the report
+        must degrade gracefully, not crash."""
+        report = campaign_report(campaign)
+        assert "lifetime too short" in report or "months" in report

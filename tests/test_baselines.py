@@ -1,0 +1,103 @@
+"""Baseline policies: VAA, coolest-first, random."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CoolestFirstManager, RandomManager, VAAManager
+from repro.sim import ChipContext
+from repro.workload import make_mix
+
+
+@pytest.fixture()
+def ctx(chip, aging_table):
+    return ChipContext(chip, aging_table, dark_fraction_min=0.5)
+
+
+def mix32(seed=0):
+    return make_mix(["bodytrack", "x264"], 32, np.random.default_rng(seed))
+
+
+class TestVAA:
+    def test_builds_legal_state(self, ctx):
+        state = VAAManager().prepare_epoch(ctx, mix32(), 0.5)
+        state.validate()
+        assert state.dcm.num_on == 32
+        assert (state.assignment >= 0).sum() == 32
+
+    def test_contiguity(self, ctx, floorplan):
+        """VAA's regions are much more compact than a random scatter:
+        mean pairwise hop distance close to the dense optimum."""
+        state = VAAManager().prepare_epoch(ctx, mix32(), 0.5)
+        on = state.dcm.on_indices()
+        hops = np.array(
+            [[floorplan.manhattan_distance(a, b) for b in on] for a in on]
+        )
+        mean_hops = hops.sum() / (len(on) * (len(on) - 1))
+        # Two packed 16-core regions average ~4.4 hops overall; a random
+        # spread averages ~5.3 and the temperature-optimized DCM higher.
+        assert mean_hops < 4.8
+
+    def test_frequency_feasibility(self, ctx):
+        state = VAAManager().prepare_epoch(ctx, mix32(), 0.5)
+        fmax = ctx.chip.fmax_init_ghz
+        for core in np.flatnonzero(state.assignment >= 0):
+            thread = state.threads[state.assignment[core]]
+            # Either feasible or the explicit max-throughput fallback
+            # running at the core's own safe frequency.
+            assert (
+                fmax[core] >= thread.fmin_ghz
+                or state.freq_ghz[core] == pytest.approx(fmax[core])
+            )
+
+    def test_no_fencing(self, ctx):
+        state = VAAManager().prepare_epoch(ctx, mix32(), 0.5)
+        assert not state.fenced.any()
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            VAAManager(neighborhood_radius=0)
+
+    def test_respects_dark_floor(self, ctx):
+        big = make_mix(["blackscholes", "streamcluster"], 33, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="dark-silicon floor"):
+            VAAManager().prepare_epoch(ctx, big, 0.5)
+
+
+class TestCoolestFirst:
+    def test_builds_legal_state(self, ctx):
+        state = CoolestFirstManager().prepare_epoch(ctx, mix32(), 0.5)
+        state.validate()
+        assert (state.assignment >= 0).sum() == 32
+
+    def test_spreads_like_temperature_dcm(self, ctx, floorplan):
+        state = CoolestFirstManager().prepare_epoch(ctx, mix32(), 0.5)
+        on = state.dcm.on_indices()
+        hops = np.array(
+            [[floorplan.manhattan_distance(a, b) for b in on] for a in on]
+        )
+        mean_hops = hops.sum() / (len(on) * (len(on) - 1))
+        assert mean_hops > 4.5
+
+
+class TestRandom:
+    def test_builds_legal_state(self, ctx):
+        state = RandomManager().prepare_epoch(ctx, mix32(), 0.5)
+        state.validate()
+
+    def test_deterministic_given_seed_and_age(self, chip, aging_table):
+        a = RandomManager(seed=7).prepare_epoch(
+            ChipContext(chip, aging_table, 0.5), mix32(3), 0.5
+        )
+        b = RandomManager(seed=7).prepare_epoch(
+            ChipContext(chip, aging_table, 0.5), mix32(3), 0.5
+        )
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_different_seeds_differ(self, chip, aging_table):
+        a = RandomManager(seed=1).prepare_epoch(
+            ChipContext(chip, aging_table, 0.5), mix32(3), 0.5
+        )
+        b = RandomManager(seed=2).prepare_epoch(
+            ChipContext(chip, aging_table, 0.5), mix32(3), 0.5
+        )
+        assert not np.array_equal(a.assignment, b.assignment)

@@ -1,0 +1,96 @@
+"""Standard-cell library: probabilities and stress duties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Cell, CellLibrary, default_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+class TestOutputProbabilities:
+    def test_inverter(self, lib):
+        assert lib["INV_X1"].output_probability(np.array([0.3])) == pytest.approx(0.7)
+
+    def test_nand_all_ones(self, lib):
+        assert lib["NAND2_X1"].output_probability(np.array([1.0, 1.0])) == 0.0
+
+    def test_nor_all_zeros(self, lib):
+        assert lib["NOR2_X1"].output_probability(np.array([0.0, 0.0])) == 1.0
+
+    def test_xor_half_inputs(self, lib):
+        assert lib["XOR2_X1"].output_probability(np.array([0.5, 0.5])) == pytest.approx(
+            0.5
+        )
+
+    def test_and_independence(self, lib):
+        assert lib["AND2_X1"].output_probability(
+            np.array([0.5, 0.4])
+        ) == pytest.approx(0.2)
+
+    def test_or_complement_of_nor(self, lib):
+        p = np.array([0.3, 0.6])
+        assert lib["OR2_X1"].output_probability(p) == pytest.approx(
+            1.0 - lib["NOR2_X1"].output_probability(p)
+        )
+
+
+class TestStressDuty:
+    def test_all_high_inputs_no_stress(self, lib):
+        assert lib["NAND2_X1"].stress_duty(np.array([1.0, 1.0])) == 0.0
+
+    def test_all_low_inputs_full_stress(self, lib):
+        assert lib["NAND2_X1"].stress_duty(np.array([0.0, 0.0])) == 1.0
+
+    def test_averages_over_inputs(self, lib):
+        assert lib["NAND2_X1"].stress_duty(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_wrong_arity_rejected(self, lib):
+        with pytest.raises(ValueError):
+            lib["NAND2_X1"].stress_duty(np.array([0.5]))
+
+
+class TestLibrary:
+    def test_lookup_by_name(self, lib):
+        assert lib["INV_X1"].num_inputs == 1
+
+    def test_unknown_name(self, lib):
+        with pytest.raises(KeyError, match="NO_SUCH"):
+            lib["NO_SUCH_CELL"]
+
+    def test_contains(self, lib):
+        assert "DFF_X1" in lib
+        assert "FOO" not in lib
+
+    def test_combinational_excludes_flops(self, lib):
+        names = [c.name for c in lib.combinational()]
+        assert "DFF_X1" not in names
+        assert "INV_X1" in names
+
+    def test_duplicate_names_rejected(self):
+        cell = default_library()["INV_X1"]
+        with pytest.raises(ValueError):
+            CellLibrary([cell, cell])
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            CellLibrary([])
+
+    def test_cell_rejects_nonpositive_delay(self):
+        with pytest.raises(ValueError):
+            Cell("BAD", 1, 0.0, lambda p: p[0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(p=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=2))
+def test_property_probabilities_stay_in_range(p):
+    lib = default_library()
+    arr = np.array(p)
+    for name in ("NAND2_X1", "NOR2_X1", "XOR2_X1", "AND2_X1", "OR2_X1"):
+        out = lib[name].output_probability(arr)
+        assert 0.0 <= out <= 1.0

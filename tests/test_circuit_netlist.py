@@ -1,0 +1,61 @@
+"""Netlist structure and validation."""
+
+import pytest
+
+from repro.circuit import Gate, Netlist, default_library
+
+
+@pytest.fixture()
+def lib():
+    return default_library()
+
+
+def small_netlist(lib):
+    # nets 0,1,2 are primary inputs; 3,4,5 driven.
+    return Netlist(
+        lib,
+        [
+            Gate("NAND2_X1", (0, 1), 3),
+            Gate("INV_X1", (2,), 4),
+            Gate("NOR2_X1", (3, 4), 5),
+        ],
+    )
+
+
+class TestStructure:
+    def test_primary_inputs(self, lib):
+        net = small_netlist(lib)
+        assert net.primary_inputs() == [0, 1, 2]
+
+    def test_primary_outputs(self, lib):
+        net = small_netlist(lib)
+        assert net.primary_outputs() == [5]
+
+    def test_len(self, lib):
+        assert len(small_netlist(lib)) == 3
+
+    def test_validate_passes(self, lib):
+        small_netlist(lib).validate()
+
+
+class TestValidation:
+    def test_arity_mismatch(self, lib):
+        net = Netlist(lib, [Gate("NAND2_X1", (0,), 1)])
+        with pytest.raises(ValueError, match="expects 2"):
+            net.validate()
+
+    def test_double_driver(self, lib):
+        net = Netlist(
+            lib,
+            [Gate("INV_X1", (0,), 2), Gate("INV_X1", (1,), 2)],
+        )
+        with pytest.raises(ValueError, match="driven twice"):
+            net.validate()
+
+    def test_gate_self_loop_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="feedback"):
+            Gate("INV_X1", (3,), 3)
+
+    def test_gate_requires_inputs(self):
+        with pytest.raises(ValueError):
+            Gate("INV_X1", (), 1)

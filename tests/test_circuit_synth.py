@@ -1,0 +1,96 @@
+"""Core synthesis and critical-path extraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import synthesize_core
+from repro.circuit.signalprob import (
+    gate_stress_duties,
+    propagate_signal_probabilities,
+)
+
+
+@pytest.fixture(scope="module")
+def core():
+    return synthesize_core(seed=7, num_gates=200, num_critical_paths=5)
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        a = synthesize_core(seed=3, num_gates=100)
+        b = synthesize_core(seed=3, num_gates=100)
+        assert [g.output for g in a.netlist.gates] == [
+            g.output for g in b.netlist.gates
+        ]
+        assert a.unaged_critical_delay_ps == b.unaged_critical_delay_ps
+
+    def test_different_seeds_differ(self):
+        a = synthesize_core(seed=1, num_gates=100)
+        b = synthesize_core(seed=2, num_gates=100)
+        assert a.unaged_critical_delay_ps != b.unaged_critical_delay_ps
+
+    def test_netlist_is_valid(self, core):
+        core.netlist.validate()
+
+    def test_requested_path_count(self, core):
+        assert len(core.critical_paths) == 5
+
+    def test_paths_sorted_by_delay(self, core):
+        delays = [p.unaged_delay_ps for p in core.critical_paths]
+        assert delays == sorted(delays, reverse=True)
+        assert core.unaged_critical_delay_ps == delays[0]
+
+
+class TestCriticalPaths:
+    def test_path_elements_align(self, core):
+        for path in core.critical_paths:
+            assert len(path.gate_indices) == len(path.element_delays_ps)
+            assert len(path.gate_indices) == len(path.element_duties)
+
+    def test_path_delay_matches_cells(self, core):
+        for path in core.critical_paths:
+            cell_delays = [
+                core.netlist.cell_of(core.netlist.gates[g]).delay_ps
+                for g in path.gate_indices
+            ]
+            assert path.unaged_delay_ps == pytest.approx(sum(cell_delays))
+
+    def test_duties_are_probabilities(self, core):
+        for path in core.critical_paths:
+            assert all(0.0 <= d <= 1.0 for d in path.element_duties)
+
+    def test_paths_are_connected_chains(self, core):
+        """Consecutive gates on a path are actually wired together."""
+        for path in core.critical_paths:
+            gates = [core.netlist.gates[g] for g in path.gate_indices]
+            for upstream, downstream in zip(gates, gates[1:]):
+                assert upstream.output in downstream.inputs
+
+
+class TestSignalProbabilities:
+    def test_all_nets_covered(self, core):
+        probs = propagate_signal_probabilities(core.netlist, {})
+        driven = core.netlist.all_outputs()
+        for net in driven:
+            assert net in probs
+
+    def test_defaults_to_half(self, core):
+        probs = propagate_signal_probabilities(core.netlist, {})
+        for net in core.netlist.primary_inputs():
+            assert probs[net] == 0.5
+
+    def test_biased_inputs_shift_duties(self, core):
+        low = propagate_signal_probabilities(
+            core.netlist, {n: 0.1 for n in core.netlist.primary_inputs()}
+        )
+        high = propagate_signal_probabilities(
+            core.netlist, {n: 0.9 for n in core.netlist.primary_inputs()}
+        )
+        duty_low = np.mean(gate_stress_duties(core.netlist, low))
+        duty_high = np.mean(gate_stress_duties(core.netlist, high))
+        assert duty_low != pytest.approx(duty_high)
+
+    def test_rejects_bad_probability(self, core):
+        inputs = core.netlist.primary_inputs()
+        with pytest.raises(ValueError):
+            propagate_signal_probabilities(core.netlist, {inputs[0]: 1.5})

@@ -1,0 +1,105 @@
+"""Command-line interface."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestChipCommand:
+    def test_prints_maps(self, capsys):
+        assert main(["chip", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "initial fmax" in out
+        assert "leakage multipliers" in out
+        assert "frequency spread" in out
+
+    def test_chip_index(self, capsys):
+        main(["chip", "--seed", "7", "--index", "1"])
+        assert "chip-01" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_runs_and_exports(self, capsys, tmp_path):
+        json_path = str(tmp_path / "out.json")
+        csv_path = str(tmp_path / "out.csv")
+        code = main(
+            [
+                "simulate",
+                "--policy", "hayat",
+                "--years", "0.5",
+                "--json", json_path,
+                "--csv", csv_path,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DTM events" in out
+        with open(json_path) as handle:
+            payload = json.load(handle)
+        assert payload[0]["policy_name"] == "hayat"
+        with open(csv_path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1  # one epoch at 0.5 years
+
+    @pytest.mark.parametrize("policy", ["vaa", "contiguous", "coolest", "random"])
+    def test_all_policies_available(self, capsys, policy):
+        assert main(["simulate", "--policy", policy, "--years", "0.5"]) == 0
+
+
+class TestCampaignCommand:
+    def test_small_campaign(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "campaign.csv")
+        code = main(
+            ["campaign", "--chips", "1", "--years", "0.5", "--csv", csv_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Normalized comparison" in out
+        with open(csv_path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert {r["policy"] for r in rows} == {"vaa", "hayat"}
+
+
+class TestScenarioCommand:
+    def test_runs_scenario_file(self, capsys, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-scenario",
+                    "population": {"num_chips": 1, "seed": 4},
+                    "config": {"lifetime_years": 0.5, "window_s": 5.0},
+                    "policies": [{"type": "hayat"}],
+                }
+            )
+        )
+        assert main(["run-scenario", str(path)]) == 0
+        assert "cli-scenario" in capsys.readouterr().out
+
+    def test_bad_scenario_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"policies": [{"type": "magic"}]}))
+        assert main(["run-scenario", str(path)]) == 2
+        assert "scenario error" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_small_sweep(self, capsys):
+        code = main(
+            ["sweep", "--fractions", "0.5", "--chips", "1", "--years", "0.5"]
+        )
+        assert code == 0
+        assert "Dark-silicon sweep" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "magic"])

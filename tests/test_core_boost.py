@@ -1,0 +1,101 @@
+"""Frequency boosting: blind and thermally governed."""
+
+import numpy as np
+import pytest
+
+from repro.core import HayatManager, blind_boost, governed_boost
+from repro.mapping import ChipState, DarkCoreMap
+from repro.power import FrequencyLadder, PowerModel
+from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig
+from repro.thermal import ThermalPredictor, ThermalRCNetwork
+from repro.util.constants import T_SAFE_KELVIN
+from repro.workload import make_mix
+
+
+@pytest.fixture()
+def mapped_state(chip):
+    threads = make_mix(["blackscholes", "canneal"], 8, np.random.default_rng(0)).threads
+    dcm = DarkCoreMap.from_on_indices(64, np.arange(0, 64, 8))
+    state = ChipState(64, threads, dcm)
+    for i, core in enumerate(range(0, 64, 8)):
+        state.place(i, core, threads[i].fmin_ghz)
+    return state
+
+
+@pytest.fixture(scope="module")
+def predictor(chip, floorplan):
+    net = ThermalRCNetwork(floorplan)
+    return ThermalPredictor.learn(net, PowerModel.for_chip(chip))
+
+
+class TestBlindBoost:
+    def test_jumps_to_safe_maximum(self, mapped_state, chip):
+        ladder = FrequencyLadder()
+        boosted = blind_boost(mapped_state, chip.fmax_init_ghz, ladder)
+        assert boosted > 0
+        for core in np.flatnonzero(mapped_state.assignment >= 0):
+            assert mapped_state.freq_ghz[core] == pytest.approx(
+                float(ladder.quantize_down(chip.fmax_init_ghz[core]))
+            )
+
+    def test_never_violates_timing(self, mapped_state, chip):
+        blind_boost(mapped_state, chip.fmax_init_ghz)
+        mapped_state.validate(chip.fmax_init_ghz)
+
+
+class TestGovernedBoost:
+    def test_raises_frequencies_under_headroom(self, mapped_state, chip, predictor):
+        before = mapped_state.freq_ghz.sum()
+        steps = governed_boost(mapped_state, chip.fmax_init_ghz, predictor)
+        assert steps > 0
+        assert mapped_state.freq_ghz.sum() > before
+
+    def test_predicted_peak_stays_under_limit(self, mapped_state, chip, predictor):
+        margin = 4.0
+        governed_boost(
+            mapped_state, chip.fmax_init_ghz, predictor, margin_k=margin
+        )
+        activity = np.zeros(64)
+        for core in np.flatnonzero(mapped_state.assignment >= 0):
+            thread = mapped_state.threads[mapped_state.assignment[core]]
+            activity[core] = thread.mean_activity
+        temps = predictor.predict(
+            mapped_state.freq_ghz, activity, mapped_state.powered_on
+        )
+        assert temps.max() <= T_SAFE_KELVIN - margin + 1e-6
+
+    def test_timing_respected(self, mapped_state, chip, predictor):
+        governed_boost(mapped_state, chip.fmax_init_ghz, predictor)
+        mapped_state.validate(chip.fmax_init_ghz)
+
+    def test_rejects_bad_margin(self, mapped_state, chip, predictor):
+        with pytest.raises(ValueError):
+            governed_boost(
+                mapped_state, chip.fmax_init_ghz, predictor, margin_k=0.0
+            )
+
+
+class TestBoostInTheLoop:
+    def test_boost_increases_throughput(self, chip, aging_table):
+        cfg = SimulationConfig(
+            lifetime_years=1.0, epoch_years=0.5, dark_fraction_min=0.5,
+            window_s=10.0, seed=9,
+        )
+        ips = {}
+        for boost in (False, True):
+            ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+            result = LifetimeSimulator(cfg).run(ctx, HayatManager(boost=boost))
+            ips[boost] = np.mean([e.total_ips for e in result.epochs])
+        assert ips[True] > ips[False]
+
+    def test_boost_costs_aging(self, chip, aging_table):
+        cfg = SimulationConfig(
+            lifetime_years=2.0, epoch_years=0.5, dark_fraction_min=0.5,
+            window_s=10.0, seed=9,
+        )
+        health = {}
+        for boost in (False, True):
+            ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+            result = LifetimeSimulator(cfg).run(ctx, HayatManager(boost=boost))
+            health[boost] = float(result.epochs[-1].health_after.mean())
+        assert health[True] <= health[False] + 1e-9

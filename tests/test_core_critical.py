@@ -1,0 +1,112 @@
+"""Critical single-thread service on preserved cores."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CriticalServiceError,
+    best_critical_frequency_ghz,
+    make_critical_thread,
+    serve_critical_thread,
+)
+from repro.mapping import ChipState, DarkCoreMap
+from repro.power import FrequencyLadder
+from repro.workload import make_mix
+
+
+@pytest.fixture()
+def state():
+    threads = make_mix(["bodytrack", "x264"], 6, np.random.default_rng(0)).threads
+    dcm = DarkCoreMap.from_on_indices(16, np.arange(8))
+    st = ChipState(16, threads, dcm)
+    for i in range(6):
+        st.place(i, i, 2.6)
+    return st
+
+
+@pytest.fixture()
+def fmax():
+    f = np.linspace(2.4, 3.2, 16)
+    f[12] = 3.8  # the preserved fast core, dark
+    return f
+
+
+class TestBestFrequency:
+    def test_finds_fastest_idle(self, state, fmax):
+        assert best_critical_frequency_ghz(state, fmax) == pytest.approx(3.8)
+
+    def test_ladder_quantizes_down(self, state, fmax):
+        fmax2 = fmax.copy()
+        fmax2[12] = 3.77
+        out = best_critical_frequency_ghz(state, fmax2, FrequencyLadder())
+        assert out == pytest.approx(3.7)
+
+    def test_busy_cores_excluded(self, state, fmax):
+        fmax2 = fmax.copy()
+        fmax2[0] = 9.0  # busy core; must not be offered
+        assert best_critical_frequency_ghz(state, fmax2) == pytest.approx(3.8)
+
+
+class TestServe:
+    def test_places_on_fastest_and_wakes_it(self, state, fmax):
+        rng = np.random.default_rng(1)
+        thread = make_critical_thread("deadline-app", 3.0, rng)
+        placement = serve_critical_thread(state, thread, fmax)
+        assert placement.core == 12
+        assert placement.woke_dark_core
+        assert placement.freq_ghz == pytest.approx(3.8)
+        assert state.powered_on[12]
+        assert state.assignment[12] == placement.thread_index
+
+    def test_runs_at_full_speed_not_requirement(self, state, fmax):
+        rng = np.random.default_rng(1)
+        thread = make_critical_thread("deadline-app", 3.0, rng)
+        placement = serve_critical_thread(state, thread, fmax)
+        assert placement.freq_ghz > thread.fmin_ghz
+
+    def test_requirement_unmeetable_raises(self, state, fmax):
+        rng = np.random.default_rng(1)
+        thread = make_critical_thread("impossible", 4.5, rng)
+        with pytest.raises(CriticalServiceError, match="needs 4.50"):
+            serve_critical_thread(state, thread, fmax)
+
+    def test_no_idle_core_raises(self, fmax):
+        threads = make_mix(["blackscholes"], 4, np.random.default_rng(0)).threads
+        dcm = DarkCoreMap.from_on_indices(4, np.arange(4))
+        st = ChipState(4, threads, dcm)
+        for i in range(4):
+            st.place(i, i, 1.5)
+        with pytest.raises(CriticalServiceError, match="no idle core"):
+            serve_critical_thread(
+                st, make_critical_thread("x", 1.0, np.random.default_rng(1)),
+                np.full(4, 3.0),
+            )
+
+    def test_powered_idle_core_not_rewoken(self, state, fmax):
+        fmax2 = fmax.copy()
+        fmax2[12] = 2.0
+        fmax2[7] = 3.5  # idle and already powered
+        rng = np.random.default_rng(1)
+        placement = serve_critical_thread(
+            state, make_critical_thread("d", 3.0, rng), fmax2
+        )
+        assert placement.core == 7
+        assert not placement.woke_dark_core
+
+    def test_state_remains_valid(self, state, fmax):
+        rng = np.random.default_rng(1)
+        serve_critical_thread(state, make_critical_thread("d", 3.0, rng), fmax)
+        state.validate()  # structural invariants (the fixture's other
+        # placements predate fmax and are not frequency-checked here)
+
+
+class TestMakeCriticalThread:
+    def test_spec_fields(self):
+        thread = make_critical_thread("app", 3.0, np.random.default_rng(0))
+        assert thread.fmin_ghz == 3.0
+        assert thread.ipc == 2.0
+        assert thread.duty_cycle == 0.95
+
+    def test_rejects_nonpositive_fmin(self):
+        with pytest.raises(ValueError):
+            make_critical_thread("app", 0.0, np.random.default_rng(0))

@@ -1,0 +1,60 @@
+"""Coverage repair inside the variation-aware DCM."""
+
+import numpy as np
+import pytest
+
+from repro.core.dcm import _repair_coverage
+from repro.mapping import DarkCoreMap
+
+
+def dcm_of(on_indices, n=8):
+    return DarkCoreMap.from_on_indices(n, on_indices)
+
+
+class TestRepairCoverage:
+    def test_noop_when_covered(self):
+        fmax = np.array([3.0, 2.0, 2.5, 2.8, 1.8, 1.9, 2.2, 3.2])
+        dcm = dcm_of([0, 2, 3])
+        out = _repair_coverage(dcm, fmax, np.array([2.0, 2.2, 2.4]))
+        np.testing.assert_array_equal(out.powered_on, dcm.powered_on)
+
+    def test_swaps_in_fast_core_for_stiff_demand(self):
+        fmax = np.array([2.0, 2.1, 2.2, 2.3, 3.5, 1.8, 1.9, 2.05])
+        dcm = dcm_of([0, 1, 2])  # nothing >= 3.0 selected
+        out = _repair_coverage(dcm, fmax, np.array([2.0, 2.0, 3.0]))
+        assert out.powered_on[4]  # the 3.5 GHz core joined
+        assert out.num_on == 3  # size preserved
+
+    def test_evicts_slowest_selected(self):
+        fmax = np.array([2.0, 2.1, 2.2, 2.3, 3.5, 1.8, 1.9, 2.05])
+        dcm = dcm_of([0, 1, 2])
+        out = _repair_coverage(dcm, fmax, np.array([2.0, 2.0, 3.0]))
+        assert not out.powered_on[0]  # slowest selected (2.0) left
+
+    def test_gives_up_when_unrepairable(self):
+        """No dark core can close the gap: return the best-effort set
+        unchanged (the mapper copes with the shortfall)."""
+        fmax = np.full(8, 2.0)
+        dcm = dcm_of([0, 1, 2])
+        out = _repair_coverage(dcm, fmax, np.array([2.0, 2.0, 3.0]))
+        assert out.num_on == 3
+
+    def test_multiple_deficits_fixed(self):
+        fmax = np.array([1.5, 1.6, 1.7, 3.1, 3.2, 1.4, 2.9, 1.3])
+        dcm = dcm_of([0, 1, 2])
+        out = _repair_coverage(dcm, fmax, np.array([2.8, 2.9, 3.0]))
+        selected = np.sort(fmax[out.on_indices()])[::-1]
+        demands = np.array([3.0, 2.9, 2.8])
+        assert (selected >= demands).all()
+
+    def test_quantized_need_picks_stable_core(self):
+        """Needs of 2.87 and 2.93 GHz quantize to the same 3.0 tier and
+        therefore pick the same repair core — the stability property."""
+        fmax = np.array([2.0, 2.1, 2.2, 3.05, 3.4, 1.8, 1.9, 2.05])
+        picks = []
+        for need in (2.87, 2.93):
+            out = _repair_coverage(
+                dcm_of([0, 1, 2]), fmax, np.array([2.0, 2.0, need])
+            )
+            picks.append(tuple(out.on_indices().tolist()))
+        assert picks[0] == picks[1]

@@ -1,0 +1,77 @@
+"""Online health estimation flow (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DutyCycleAssumption, OnlineHealthEstimator
+from repro.core.estimation import GENERIC_DUTY, WORST_CASE_DUTY
+from repro.power import PowerModel
+from repro.thermal import ThermalPredictor, ThermalRCNetwork
+
+
+@pytest.fixture(scope="module")
+def estimator(chip, floorplan, aging_table):
+    net = ThermalRCNetwork(floorplan)
+    pm = PowerModel.for_chip(chip)
+    pred = ThermalPredictor.learn(net, pm)
+    return OnlineHealthEstimator(pred, aging_table)
+
+
+class TestDutyAssumptions:
+    def test_known_passes_through(self, estimator):
+        duties = np.array([0.0, 0.3, 0.8])
+        np.testing.assert_array_equal(estimator.resolve_duties(duties), duties)
+
+    def test_generic_replaces_nonzero(self, chip, floorplan, aging_table):
+        net = ThermalRCNetwork(floorplan)
+        pred = ThermalPredictor.learn(net, PowerModel.for_chip(chip))
+        est = OnlineHealthEstimator(pred, aging_table, DutyCycleAssumption.GENERIC)
+        out = est.resolve_duties(np.array([0.0, 0.3, 0.8]))
+        np.testing.assert_array_equal(out, [0.0, GENERIC_DUTY, GENERIC_DUTY])
+
+    def test_worst_case_replaces_nonzero(self, chip, floorplan, aging_table):
+        net = ThermalRCNetwork(floorplan)
+        pred = ThermalPredictor.learn(net, PowerModel.for_chip(chip))
+        est = OnlineHealthEstimator(
+            pred, aging_table, DutyCycleAssumption.WORST_CASE
+        )
+        out = est.resolve_duties(np.array([0.0, 0.3]))
+        np.testing.assert_array_equal(out, [0.0, WORST_CASE_DUTY])
+
+    def test_worst_case_in_paper_band(self):
+        assert 0.85 <= WORST_CASE_DUTY <= 1.0
+
+
+class TestHealthEstimates:
+    def test_flat_input(self, estimator):
+        temps = np.full(64, 360.0)
+        duties = np.full(64, 0.6)
+        health = np.ones(64)
+        out = estimator.estimate_next_health(temps, duties, health, 0.5)
+        assert out.shape == (64,)
+        assert (out < 1.0).all()
+
+    def test_batch_rows_independent(self, estimator):
+        health = np.ones(64)
+        temps = np.vstack([np.full(64, 340.0), np.full(64, 400.0)])
+        duties = np.full((2, 64), 0.6)
+        out = estimator.estimate_next_health(temps, duties, health, 0.5)
+        assert out.shape == (2, 64)
+        # Hotter row degrades more.
+        assert (out[1] < out[0]).all()
+
+    def test_batch_matches_flat(self, estimator):
+        health = np.full(64, 0.95)
+        temps = np.full(64, 365.0)
+        duties = np.full(64, 0.7)
+        flat = estimator.estimate_next_health(temps, duties, health, 0.5)
+        batched = estimator.estimate_next_health(
+            temps[None, :], duties[None, :], health, 0.5
+        )
+        np.testing.assert_allclose(batched[0], flat)
+
+    def test_temperature_prediction_delegates(self, estimator):
+        on = np.zeros(64, dtype=bool)
+        temps = estimator.predict_temperature(np.zeros(64), np.zeros(64), on)
+        assert temps.shape == (64,)
+        assert temps.max() < estimator.predictor.ambient_k + 1.0

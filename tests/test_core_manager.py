@@ -1,0 +1,50 @@
+"""HayatManager: epoch preparation end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import HayatManager
+from repro.sim import ChipContext
+from repro.workload import make_mix
+
+
+@pytest.fixture()
+def ctx(chip, aging_table):
+    return ChipContext(chip, aging_table, dark_fraction_min=0.5)
+
+
+class TestPrepareEpoch:
+    def test_builds_legal_state(self, ctx):
+        mix = make_mix(["bodytrack", "x264"], 32, np.random.default_rng(0))
+        state = HayatManager().prepare_epoch(ctx, mix, 0.5)
+        state.validate()
+        assert state.dcm.num_on == 32
+        assert (state.assignment >= 0).sum() == 32
+
+    def test_respects_dark_floor(self, ctx):
+        mix = make_mix(["blackscholes", "streamcluster"], 33, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="dark-silicon floor"):
+            HayatManager().prepare_epoch(ctx, mix, 0.5)
+
+    def test_fences_reserved_fast_cores(self, ctx):
+        mix = make_mix(["blackscholes", "streamcluster"], 24, np.random.default_rng(1))
+        state = HayatManager().prepare_epoch(ctx, mix, 0.5)
+        fenced = np.flatnonzero(state.fenced)
+        assert fenced.size > 0
+        # Fenced cores are dark and among the chip's fastest.
+        assert not state.powered_on[fenced].any()
+        fmax = ctx.chip.fmax_init_ghz
+        assert fmax[fenced].min() >= np.percentile(fmax, 85)
+
+    def test_threads_run_at_required_frequency(self, ctx):
+        mix = make_mix(["bodytrack", "x264"], 24, np.random.default_rng(2))
+        state = HayatManager().prepare_epoch(ctx, mix, 0.5)
+        for core in np.flatnonzero(state.assignment >= 0):
+            thread = state.threads[state.assignment[core]]
+            assert state.freq_ghz[core] <= thread.fmin_ghz + 1e-9
+
+    def test_uses_monitored_not_true_health(self, ctx):
+        """The manager must see quantized sensor health, a lower bound
+        on truth."""
+        measured = ctx.measured_health()
+        assert (measured <= ctx.health_state.health + 1e-12).all()

@@ -1,0 +1,106 @@
+"""Algorithm 1: constraints, ordering, and preferences."""
+
+import numpy as np
+import pytest
+
+from repro.core import HayatMapper, MappingError, OnlineHealthEstimator
+from repro.core.dcm import temperature_optimized_dcm
+from repro.mapping import ChipState
+from repro.power import PowerModel
+from repro.thermal import ThermalPredictor, ThermalRCNetwork
+from repro.workload import make_mix
+
+
+@pytest.fixture(scope="module")
+def setup(chip, floorplan, aging_table):
+    net = ThermalRCNetwork(floorplan)
+    pm = PowerModel.for_chip(chip)
+    pred = ThermalPredictor.learn(net, pm)
+    estimator = OnlineHealthEstimator(pred, aging_table)
+    influence = net.influence_matrix()
+    return estimator, influence
+
+
+def build_state(chip, floorplan, influence, num_threads=16, seed=0):
+    mix = make_mix(["bodytrack", "x264"], num_threads, np.random.default_rng(seed))
+    dcm = temperature_optimized_dcm(floorplan, num_threads, influence)
+    return ChipState(chip.num_cores, mix.threads, dcm)
+
+
+class TestMapping:
+    def test_all_threads_mapped(self, setup, chip, floorplan):
+        estimator, influence = setup
+        state = build_state(chip, floorplan, influence)
+        mapper = HayatMapper(estimator)
+        unmapped = mapper.map_threads(
+            state, chip.fmax_init_ghz, np.ones(64), 0.5, 0.0
+        )
+        assert unmapped == []
+        assert (state.assignment >= 0).sum() == 16
+        state.validate(chip.fmax_init_ghz)
+
+    def test_frequency_requirements_respected(self, setup, chip, floorplan):
+        estimator, influence = setup
+        state = build_state(chip, floorplan, influence)
+        HayatMapper(estimator).map_threads(
+            state, chip.fmax_init_ghz, np.ones(64), 0.5, 0.0
+        )
+        for core in np.flatnonzero(state.assignment >= 0):
+            thread = state.threads[state.assignment[core]]
+            assert chip.fmax_init_ghz[core] >= thread.fmin_ghz
+            # Threads run at their required frequency, not faster.
+            assert state.freq_ghz[core] == pytest.approx(thread.fmin_ghz)
+
+    def test_deterministic(self, setup, chip, floorplan):
+        estimator, influence = setup
+        a = build_state(chip, floorplan, influence)
+        b = build_state(chip, floorplan, influence)
+        HayatMapper(estimator).map_threads(a, chip.fmax_init_ghz, np.ones(64), 0.5, 0.0)
+        HayatMapper(estimator).map_threads(b, chip.fmax_init_ghz, np.ones(64), 0.5, 0.0)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_stiff_threads_get_tightest_matches(self, setup, chip, floorplan):
+        """Eq. 9's frequency matching, combined with the stiffest-first
+        ordering, gives the stiff threads the smallest frequency
+        headroom (they are placed while tight matches still exist);
+        easy threads absorb the leftovers."""
+        estimator, influence = setup
+        state = build_state(chip, floorplan, influence, num_threads=24, seed=5)
+        HayatMapper(estimator).map_threads(
+            state, chip.fmax_init_ghz, np.ones(64), 0.5, 0.0
+        )
+        pairs = []
+        for core in np.flatnonzero(state.assignment >= 0):
+            thread = state.threads[state.assignment[core]]
+            pairs.append((thread.fmin_ghz, chip.fmax_init_ghz[core] - thread.fmin_ghz))
+        pairs.sort(reverse=True)  # stiffest first
+        quartile = len(pairs) // 4
+        stiff_gap = np.mean([gap for _, gap in pairs[:quartile]])
+        easy_gap = np.mean([gap for _, gap in pairs[-quartile:]])
+        assert stiff_gap < easy_gap
+
+    def test_strict_raises_when_infeasible(self, setup, chip, floorplan):
+        estimator, influence = setup
+        state = build_state(chip, floorplan, influence)
+        slow = np.full(64, 0.5)  # nothing meets any requirement
+        with pytest.raises(MappingError):
+            HayatMapper(estimator, strict=True).map_threads(
+                state, slow, np.ones(64), 0.5, 0.0
+            )
+
+    def test_nonstrict_reports_unmapped(self, setup, chip, floorplan):
+        estimator, influence = setup
+        state = build_state(chip, floorplan, influence)
+        slow = np.full(64, 0.5)
+        unmapped = HayatMapper(estimator).map_threads(
+            state, slow, np.ones(64), 0.5, 0.0
+        )
+        assert len(unmapped) == 16
+
+    def test_rejects_bad_vector_shapes(self, setup, chip, floorplan):
+        estimator, influence = setup
+        state = build_state(chip, floorplan, influence)
+        with pytest.raises(ValueError):
+            HayatMapper(estimator).map_threads(
+                state, np.ones(3), np.ones(64), 0.5, 0.0
+            )

@@ -1,0 +1,111 @@
+"""Exhaustive reference solver, and Algorithm 1's quality against it."""
+
+import numpy as np
+import pytest
+
+from repro.core import HayatMapper, OnlineHealthEstimator
+from repro.core.dcm import temperature_optimized_dcm
+from repro.core.optimal import (
+    MAX_ASSIGNMENTS,
+    objective_of_state,
+    optimal_mapping,
+)
+from repro.floorplan import Floorplan
+from repro.mapping import ChipState
+from repro.power import PowerModel
+from repro.thermal import ThermalPredictor, ThermalRCNetwork
+from repro.variation import Chip, VariationParams
+from repro.workload import make_mix
+
+
+@pytest.fixture(scope="module")
+def small_setup(aging_table):
+    floorplan = Floorplan(3, 3)
+    params = VariationParams(grid_per_core=2, critical_path_points=3)
+    chip = Chip.sample(floorplan, params, np.random.default_rng(5))
+    net = ThermalRCNetwork(floorplan)
+    pm = PowerModel.for_chip(chip)
+    estimator = OnlineHealthEstimator(ThermalPredictor.learn(net, pm), aging_table)
+    return floorplan, chip, estimator, net
+
+
+def small_threads(count, seed=0):
+    return make_mix(["blackscholes", "canneal"], count, np.random.default_rng(seed)).threads
+
+
+class TestOptimalSolver:
+    def test_finds_feasible_solution(self, small_setup):
+        floorplan, chip, estimator, _ = small_setup
+        threads = small_threads(4)
+        solution = optimal_mapping(
+            threads, chip.fmax_init_ghz, np.ones(9), estimator, 0.5
+        )
+        assert len(solution.assignment) == 4
+        cores = list(solution.assignment.values())
+        assert len(set(cores)) == 4  # one thread per core
+        for thread_index, core in solution.assignment.items():
+            assert chip.fmax_init_ghz[core] >= threads[thread_index].fmin_ghz
+
+    def test_objective_matches_reevaluation(self, small_setup):
+        """The reported objective equals scoring the returned assignment
+        through the same estimator."""
+        floorplan, chip, estimator, _ = small_setup
+        threads = small_threads(3, seed=2)
+        solution = optimal_mapping(
+            threads, chip.fmax_init_ghz, np.ones(9), estimator, 0.5
+        )
+        from repro.mapping import DarkCoreMap
+
+        cores = sorted(solution.assignment.values())
+        state = ChipState(9, threads, DarkCoreMap.from_on_indices(9, cores))
+        for thread_index, core in solution.assignment.items():
+            state.place(thread_index, core, threads[thread_index].fmin_ghz)
+        assert objective_of_state(
+            state, np.ones(9), estimator, 0.5
+        ) == pytest.approx(solution.objective, rel=1e-9)
+
+    def test_rejects_oversized_instances(self, small_setup):
+        _, chip, estimator, _ = small_setup
+        threads = small_threads(4)
+        huge = np.ones(64)
+        with pytest.raises(ValueError, match="search space"):
+            optimal_mapping(threads * 4, huge, np.ones(64), estimator, 0.5)
+
+    def test_rejects_infeasible_requirements(self, small_setup):
+        _, chip, estimator, _ = small_setup
+        threads = small_threads(3)
+        slow = np.full(9, 0.2)
+        with pytest.raises(ValueError, match="no .* assignment"):
+            optimal_mapping(threads, slow, np.ones(9), estimator, 0.5)
+
+    def test_more_threads_than_cores_rejected(self, small_setup):
+        _, chip, estimator, _ = small_setup
+        with pytest.raises(ValueError, match="more threads"):
+            optimal_mapping(
+                small_threads(4) * 3, chip.fmax_init_ghz, np.ones(9), estimator, 0.5
+            )
+
+
+class TestHeuristicQuality:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_algorithm1_close_to_optimal(self, small_setup, seed):
+        """Algorithm 1's greedy must reach >= 99 % of the exhaustive
+        optimum of the Eq. 6 objective on small instances — the paper's
+        justification for replacing the ILP with a run-time heuristic."""
+        floorplan, chip, estimator, net = small_setup
+        threads = small_threads(4, seed=seed)
+        health = np.ones(9)
+
+        optimal = optimal_mapping(
+            threads, chip.fmax_init_ghz, health, estimator, 0.5
+        )
+
+        dcm = temperature_optimized_dcm(floorplan, 4, net.influence_matrix())
+        state = ChipState(9, threads, dcm)
+        mapper = HayatMapper(estimator)
+        unmapped = mapper.map_threads(
+            state, chip.fmax_init_ghz, health, 0.5, 0.0
+        )
+        assert unmapped == []
+        heuristic_objective = objective_of_state(state, health, estimator, 0.5)
+        assert heuristic_objective >= 0.99 * optimal.objective

@@ -1,0 +1,93 @@
+"""Eq. 9 weighting function."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightingConfig, WeightingFunction
+
+
+@pytest.fixture()
+def wf():
+    return WeightingFunction()
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = WeightingConfig()
+        assert cfg.alpha_early == pytest.approx(0.6)
+        assert cfg.beta_early == pytest.approx(1.0)
+        assert cfg.alpha_late == pytest.approx(4.0)
+        assert cfg.beta_late == pytest.approx(0.3)
+        assert cfg.wmax == pytest.approx(10.0)
+
+    def test_phase_schedule(self):
+        cfg = WeightingConfig()
+        assert cfg.coefficients(0.0) == (0.6, 1.0)
+        assert cfg.coefficients(2.99) == (0.6, 1.0)
+        assert cfg.coefficients(3.0) == (4.0, 0.3)
+        assert cfg.coefficients(10.0) == (4.0, 0.3)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            WeightingConfig(alpha_early=0.0)
+
+
+class TestFrequencyTerm:
+    def test_paper_calibration_point(self, wf):
+        """Section V: alpha=0.6 gives weight ~1.0 at a 600 MHz gap."""
+        term = wf.frequency_term(3.0, 2.4, elapsed_years=0.0)
+        assert term == pytest.approx(1.0)
+        # And strictly above 1.0 for any tighter gap.
+        assert wf.frequency_term(2.99, 2.4, 0.0) > 1.0
+
+    def test_tighter_match_higher_weight(self, wf):
+        loose = wf.frequency_term(3.6, 2.4, 0.0)
+        tight = wf.frequency_term(2.5, 2.4, 0.0)
+        assert tight > loose
+
+    def test_capped_at_wmax(self, wf):
+        term = wf.frequency_term(2.4001, 2.4, 0.0)
+        assert term == pytest.approx(10.0)
+
+    def test_zero_gap_is_wmax(self, wf):
+        assert wf.frequency_term(2.4, 2.4, 0.0) == pytest.approx(10.0)
+
+    def test_late_phase_changes_alpha(self, wf):
+        early = wf.frequency_term(3.0, 2.4, 0.0)
+        late = wf.frequency_term(3.0, 2.4, 5.0)
+        assert late == pytest.approx(early * 4.0 / 0.6)
+
+    def test_broadcasts(self, wf):
+        terms = wf.frequency_term(np.array([2.5, 3.0, 3.6]), 2.4, 0.0)
+        assert terms.shape == (3,)
+        assert (np.diff(terms) < 0).all()
+
+
+class TestHealthTerm:
+    def test_preserving_candidate_scores_higher(self, wf):
+        keep = wf.health_term(0.99, 1.0, 0.0)
+        wear = wf.health_term(0.90, 1.0, 0.0)
+        assert keep > wear
+
+    def test_beta_scaling_by_phase(self, wf):
+        early = wf.health_term(0.95, 1.0, 0.0)
+        late = wf.health_term(0.95, 1.0, 5.0)
+        assert late == pytest.approx(early * 0.3 / 1.0)
+
+    def test_rejects_nonpositive_current_health(self, wf):
+        with pytest.raises(ValueError):
+            wf.health_term(0.9, 0.0, 0.0)
+
+
+class TestTotalWeight:
+    def test_sum_of_terms(self, wf):
+        total = wf.weight(3.0, 2.4, 0.95, 1.0, 0.0)
+        expected = wf.frequency_term(3.0, 2.4, 0.0) + wf.health_term(0.95, 1.0, 0.0)
+        assert total == pytest.approx(expected)
+
+    def test_prefers_saving_fast_cores(self, wf):
+        """A fast core should score lower than a tight-matching core for
+        the same thread — the 'save them for later' behaviour."""
+        fast_core = wf.weight(3.6, 2.4, 0.98, 1.0, 0.0)
+        tight_core = wf.weight(2.6, 2.4, 0.98, 1.0, 0.0)
+        assert tight_core > fast_core

@@ -1,0 +1,112 @@
+"""DTM: migrate-then-throttle behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.dtm import DTMPolicy
+from repro.mapping import ChipState, DarkCoreMap
+from repro.util.constants import T_SAFE_KELVIN
+from repro.workload import make_mix
+
+
+@pytest.fixture()
+def state():
+    threads = make_mix(["bodytrack", "x264"], 6, np.random.default_rng(0)).threads
+    dcm = DarkCoreMap.from_on_indices(16, np.arange(6))
+    st = ChipState(16, threads, dcm)
+    for i in range(6):
+        st.place(i, i, 2.6)
+    return st
+
+
+def temps_with_hot(core, hot_k=T_SAFE_KELVIN + 5.0, base_k=330.0, n=16):
+    temps = np.full(n, base_k)
+    temps[core] = hot_k
+    return temps
+
+
+class TestMigration:
+    def test_hot_core_migrates_to_coldest(self, state):
+        policy = DTMPolicy()
+        temps = temps_with_hot(2)
+        temps[15] = 320.0  # coldest eligible (dark, will be woken)
+        fmax = np.full(16, 3.5)
+        report = policy.enforce(state, temps, fmax)
+        assert report.migrations == 1
+        assert report.throttles == 0
+        assert state.core_of_thread(2) == 15
+        assert not state.powered_on[2]
+
+    def test_no_violation_no_action(self, state):
+        policy = DTMPolicy()
+        report = policy.enforce(state, np.full(16, 330.0), np.full(16, 3.5))
+        assert report.events == 0
+
+    def test_target_must_be_cold_enough(self, state):
+        """Cores between Tsafe-10 and Tsafe are not acceptable targets."""
+        policy = DTMPolicy()
+        temps = temps_with_hot(2)
+        temps[6:] = T_SAFE_KELVIN - 5.0  # warm, inside the headroom band
+        report = policy.enforce(state, temps, np.full(16, 3.5))
+        assert report.migrations == 0
+        assert report.throttles == 1
+
+    def test_target_must_meet_frequency_requirement(self, state):
+        policy = DTMPolicy()
+        temps = temps_with_hot(2)
+        fmax = np.full(16, 3.5)
+        fmax[6:] = 0.5  # all idle cores too slow for any thread
+        report = policy.enforce(state, temps, fmax)
+        assert report.migrations == 0
+        assert report.throttles == 1
+
+    def test_two_hot_cores_get_distinct_targets(self, state):
+        policy = DTMPolicy()
+        temps = temps_with_hot(0)
+        temps[1] = T_SAFE_KELVIN + 3.0
+        temps[14] = 320.0
+        temps[15] = 321.0
+        report = policy.enforce(state, temps, np.full(16, 3.5))
+        assert report.migrations == 2
+        targets = {pair[1] for pair in report.migrated_pairs}
+        assert len(targets) == 2
+
+    def test_hottest_handled_first(self, state):
+        policy = DTMPolicy()
+        temps = temps_with_hot(0, hot_k=T_SAFE_KELVIN + 2.0)
+        temps[1] = T_SAFE_KELVIN + 8.0  # hotter
+        temps[15] = 320.0
+        report = policy.enforce(state, temps, np.full(16, 3.5))
+        # The hotter core (1) claims the single coldest target first.
+        assert report.migrated_pairs[0][0] == 1
+
+
+class TestThrottling:
+    def test_throttle_reduces_frequency(self, state):
+        policy = DTMPolicy(throttle_factor=0.7)
+        temps = temps_with_hot(2)
+        temps[:] = T_SAFE_KELVIN + 2.0  # everything hot, no targets
+        before = state.freq_ghz[2]
+        report = policy.enforce(state, temps, np.full(16, 3.5))
+        assert report.throttles >= 1
+        assert state.freq_ghz[2] == pytest.approx(before * 0.7)
+        assert state.throttled[2]
+
+    def test_report_merge(self, state):
+        policy = DTMPolicy()
+        temps = temps_with_hot(2)
+        temps[15] = 320.0
+        a = policy.enforce(state, temps, np.full(16, 3.5))
+        b = policy.enforce(state, np.full(16, 330.0), np.full(16, 3.5))
+        a.merge(b)
+        assert a.events == 1
+
+
+class TestValidation:
+    def test_rejects_wrong_temps_shape(self, state):
+        with pytest.raises(ValueError):
+            DTMPolicy().enforce(state, np.zeros(4), np.full(16, 3.5))
+
+    def test_rejects_bad_throttle_factor(self):
+        with pytest.raises(ValueError):
+            DTMPolicy(throttle_factor=1.0)

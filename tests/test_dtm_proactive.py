@@ -1,0 +1,105 @@
+"""Proactive DTM: prediction-driven preemption."""
+
+import numpy as np
+import pytest
+
+from repro.dtm import DTMPolicy, ProactiveDTMPolicy
+from repro.mapping import ChipState, DarkCoreMap
+from repro.power import PowerModel
+from repro.thermal import ThermalPredictor, ThermalRCNetwork
+from repro.util.constants import T_SAFE_KELVIN
+from repro.workload import make_mix
+
+
+@pytest.fixture()
+def setup(chip, floorplan):
+    net = ThermalRCNetwork(floorplan)
+    pm = PowerModel.for_chip(chip)
+    predictor = ThermalPredictor.learn(net, pm)
+    return predictor
+
+
+def dense_state(num_threads=20):
+    threads = make_mix(["bodytrack", "x264"], num_threads, np.random.default_rng(0)).threads
+    dcm = DarkCoreMap.from_on_indices(64, np.arange(num_threads))
+    state = ChipState(64, threads, dcm)
+    for i in range(num_threads):
+        state.place(i, i, 2.8)
+    return state
+
+
+class TestProactive:
+    def test_preempts_predicted_hotspots(self, setup):
+        """A dense hot block below Tsafe today but headed above it gets
+        spread out before any sensor violation."""
+        predictor = setup
+        policy = ProactiveDTMPolicy(predictor, margin_k=10.0)
+        state = dense_state(28)
+        temps = np.full(64, T_SAFE_KELVIN - 4.0)  # warm but legal
+        temps[32:] = 330.0
+        fmax = np.full(64, 3.5)
+        report = policy.enforce(state, temps, fmax)
+        assert report.migrations > 0
+        assert report.throttles == 0
+
+    def test_no_action_when_prediction_is_cool(self, setup):
+        predictor = setup
+        policy = ProactiveDTMPolicy(predictor, margin_k=3.0)
+        threads = make_mix(["blackscholes"], 4, np.random.default_rng(1)).threads
+        dcm = DarkCoreMap.from_on_indices(64, [0, 20, 40, 60])
+        state = ChipState(64, threads, dcm)
+        for i, core in enumerate([0, 20, 40, 60]):
+            state.place(i, core, 1.5)
+        temps = np.full(64, 330.0)
+        report = policy.enforce(state, temps, np.full(64, 3.5))
+        assert report.events == 0
+
+    def test_reactive_behaviour_preserved(self, setup):
+        """Actual violations are still handled like the base policy."""
+        predictor = setup
+        policy = ProactiveDTMPolicy(predictor)
+        state = dense_state(6)
+        temps = np.full(64, 330.0)
+        temps[2] = T_SAFE_KELVIN + 5.0
+        report = policy.enforce(state, temps, np.full(64, 3.5))
+        assert report.migrations >= 1
+        assert state.assignment[2] == -1  # the violator was evacuated
+
+    def test_fenced_cores_never_preemption_targets(self, setup):
+        predictor = setup
+        policy = ProactiveDTMPolicy(predictor, margin_k=3.0)
+        state = dense_state()
+        state.fence(np.arange(40, 64))
+        temps = np.full(64, T_SAFE_KELVIN - 8.0)
+        temps[32:] = 330.0
+        report = policy.enforce(state, temps, np.full(64, 3.5))
+        for _, target in report.migrated_pairs:
+            assert target < 40
+
+    def test_rejects_nonpositive_margin(self, setup):
+        with pytest.raises(ValueError):
+            ProactiveDTMPolicy(setup, margin_k=0.0)
+
+    def test_fewer_emergencies_than_reactive_in_closed_loop(
+        self, chip, aging_table
+    ):
+        """Over a lifetime with the dense contiguous policy, proactive
+        enforcement produces no more throttles than reactive."""
+        from repro.baselines import ContiguousManager
+        from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig
+
+        cfg = SimulationConfig(
+            lifetime_years=1.0, dark_fraction_min=0.5, window_s=10.0, seed=4
+        )
+        throttles = {}
+        for label, dtm in (
+            ("reactive", None),
+            ("proactive", "build"),
+        ):
+            ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+            if dtm == "build":
+                dtm = ProactiveDTMPolicy(ctx.predictor)
+            sim = LifetimeSimulator(cfg, dtm=dtm)
+            result = sim.run(ctx, ContiguousManager())
+            throttles[label] = sum(e.dtm_throttles for e in result.epochs)
+        assert throttles["proactive"] <= throttles["reactive"]

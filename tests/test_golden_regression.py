@@ -1,0 +1,79 @@
+"""Golden regression values for a tiny deterministic simulation.
+
+These pin the *current* end-to-end numerical behaviour so accidental
+semantic changes (a reordered RNG draw, a sign slip in a model) surface
+immediately.  An intentional model change is allowed to update them —
+with a matching entry in EXPERIMENTS.md if it shifts the figures.
+
+Tolerances are tight but not exact: BLAS reduction order may vary
+across platforms.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChipContext,
+    HayatManager,
+    LifetimeSimulator,
+    SimulationConfig,
+    VAAManager,
+    generate_population,
+)
+from repro.aging import CoreAgingEstimator, build_aging_table
+
+GOLDEN = {
+    "hayat": {
+        "events": 0,
+        "mean_health": 0.9479968848,
+        "avg_temp_k": 345.589822,
+        "comm": 334.500646,
+    },
+    "vaa": {
+        "events": 63,
+        "mean_health": 0.8994866742,
+        "avg_temp_k": 347.285619,
+        "comm": 330.834097,
+    },
+}
+
+CHIP_FMAX_HEAD = [3.02802007, 3.08507021, 2.71729127]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    population = generate_population(1, seed=123)
+    table = build_aging_table(
+        CoreAgingEstimator(),
+        temp_grid_k=np.arange(290.0, 431.0, 20.0),
+        duty_grid=np.concatenate([[0.0], np.geomspace(0.05, 1.0, 8)]),
+        age_grid_years=np.concatenate([[0.0], np.geomspace(0.1, 120.0, 16)]),
+    )
+    return population[0], table
+
+
+def test_golden_chip_manufacturing(setup):
+    chip, _ = setup
+    np.testing.assert_allclose(chip.fmax_init_ghz[:3], CHIP_FMAX_HEAD, rtol=1e-7)
+
+
+@pytest.mark.parametrize("policy_name", ["hayat", "vaa"])
+def test_golden_lifetime(setup, policy_name):
+    chip, table = setup
+    cfg = SimulationConfig(
+        lifetime_years=1.0, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=10.0, seed=77,
+    )
+    policy = HayatManager() if policy_name == "hayat" else VAAManager()
+    ctx = ChipContext(chip, table, dark_fraction_min=0.5)
+    result = LifetimeSimulator(cfg).run(ctx, policy)
+
+    golden = GOLDEN[policy_name]
+    assert result.total_dtm_events() == golden["events"]
+    assert float(result.epochs[-1].health_after.mean()) == pytest.approx(
+        golden["mean_health"], rel=1e-6
+    )
+    assert float(result.epochs[0].avg_temp_k) == pytest.approx(
+        golden["avg_temp_k"], rel=1e-6
+    )
+    assert result.mean_comm_cost() == pytest.approx(golden["comm"], rel=1e-6)

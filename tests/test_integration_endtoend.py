@@ -1,0 +1,111 @@
+"""Cross-module integration scenarios.
+
+These tests exercise long call chains across packages — the scenarios a
+downstream user actually runs — rather than single-module behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VAAManager
+from repro.core import (
+    HayatManager,
+    best_critical_frequency_ghz,
+    make_critical_thread,
+    serve_critical_thread,
+)
+from repro.dtm import ProactiveDTMPolicy
+from repro.mapping import ChipState, DarkCoreMap
+from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig
+from repro.sim.export import load_results_json, save_results_json
+from repro.thermal import ThermalSensor
+from repro.workload import poisson_arrivals
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SimulationConfig(
+        lifetime_years=1.0, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=10.0, seed=11,
+    )
+
+
+class TestNoisySensors:
+    def test_lifetime_completes_with_sensor_noise(self, chip, aging_table, cfg):
+        """Gaussian thermal-sensor noise must not break the control loop
+        (it may add spurious DTM events, never crashes or stalls)."""
+        noisy = ThermalSensor(
+            resolution_k=0.5, noise_sigma_k=1.5, rng=np.random.default_rng(8)
+        )
+        ctx = ChipContext(
+            chip, aging_table, dark_fraction_min=0.5, thermal_sensor=noisy
+        )
+        result = LifetimeSimulator(cfg).run(ctx, HayatManager())
+        assert len(result.epochs) == 2
+        assert (result.health_trajectory() > 0).all()
+
+    def test_noise_only_adds_events(self, chip, aging_table, cfg):
+        clean_ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        clean = LifetimeSimulator(cfg).run(clean_ctx, HayatManager())
+        noisy_sensor = ThermalSensor(
+            resolution_k=0.5, noise_sigma_k=3.0, rng=np.random.default_rng(9)
+        )
+        noisy_ctx = ChipContext(
+            chip, aging_table, dark_fraction_min=0.5, thermal_sensor=noisy_sensor
+        )
+        noisy = LifetimeSimulator(cfg).run(noisy_ctx, HayatManager())
+        assert noisy.total_dtm_events() >= clean.total_dtm_events()
+
+
+class TestAgedCriticalService:
+    def test_full_pipeline(self, chip, aging_table, cfg):
+        """Age the chip, then serve a critical request off the live
+        health state — the cross-package happy path."""
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        LifetimeSimulator(cfg).run(ctx, HayatManager())
+        aged_fmax = ctx.measured_fmax_ghz()
+
+        state = ChipState(64, [], DarkCoreMap(np.zeros(64, dtype=bool)))
+        offer = best_critical_frequency_ghz(state, aged_fmax)
+        thread = make_critical_thread("hot-job", 2.5, np.random.default_rng(0))
+        placement = serve_critical_thread(state, thread, aged_fmax)
+        assert placement.freq_ghz == pytest.approx(offer)
+        state.validate(aged_fmax)
+
+
+class TestProactiveDTMInLoop:
+    def test_swappable_enforcement(self, chip, aging_table, cfg):
+        """The simulator accepts the proactive DTM subclass unchanged."""
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        sim = LifetimeSimulator(cfg, dtm=ProactiveDTMPolicy(ctx.predictor))
+        result = sim.run(ctx, VAAManager())
+        assert len(result.epochs) == 2
+
+
+class TestEpochCallback:
+    def test_callback_streams_records(self, chip, aging_table, cfg):
+        seen = []
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        sim = LifetimeSimulator(cfg, epoch_callback=seen.append)
+        result = sim.run(ctx, HayatManager())
+        assert len(seen) == len(result.epochs)
+        assert seen[0] is result.epochs[0]
+
+
+class TestArrivalsWithExport:
+    def test_arrivals_survive_export_roundtrip(self, chip, aging_table, tmp_path):
+        cfg = SimulationConfig(
+            lifetime_years=0.5, epoch_years=0.5, dark_fraction_min=0.5,
+            window_s=10.0, load_factor=0.7, seed=3,
+        )
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        sim = LifetimeSimulator(
+            cfg,
+            arrivals_factory=lambda e, w, rng: poisson_arrivals(w, 4.0, rng),
+        )
+        result = sim.run(ctx, HayatManager())
+        path = str(tmp_path / "arr.json")
+        save_results_json([result], path)
+        loaded = load_results_json(path)[0]
+        assert loaded.epochs[0].arrivals == result.epochs[0].arrivals
+        assert loaded.epochs[0].arrivals > 0

@@ -1,0 +1,126 @@
+"""Stateful property test: ChipState invariants under random operations.
+
+Hypothesis drives random sequences of place/unplace/migrate/power
+operations against a ChipState; after every step the structural
+invariants of Eq. 5 and the power-state discipline must hold.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.mapping import ChipState, DarkCoreMap
+from repro.workload import make_mix
+
+NUM_CORES = 12
+NUM_THREADS = 6
+
+
+class ChipStateMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        threads = make_mix(
+            ["blackscholes", "canneal"], NUM_THREADS, np.random.default_rng(0)
+        ).threads
+        dcm = DarkCoreMap.from_on_indices(NUM_CORES, np.arange(NUM_THREADS + 2))
+        self.state = ChipState(NUM_CORES, threads, dcm)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    @rule(thread=st.integers(0, NUM_THREADS - 1), core=st.integers(0, NUM_CORES - 1))
+    def try_place(self, thread, core):
+        state = self.state
+        can = (
+            state.powered_on[core]
+            and state.assignment[core] < 0
+            and state.core_of_thread(thread) < 0
+        )
+        if can:
+            state.place(thread, core, 2.0)
+        else:
+            try:
+                state.place(thread, core, 2.0)
+            except ValueError:
+                return
+            raise AssertionError("illegal place() silently accepted")
+
+    @rule(core=st.integers(0, NUM_CORES - 1))
+    def try_unplace(self, core):
+        state = self.state
+        if state.assignment[core] >= 0:
+            thread = state.unplace(core)
+            assert state.core_of_thread(thread) == -1
+        else:
+            try:
+                state.unplace(core)
+            except ValueError:
+                return
+            raise AssertionError("unplacing an idle core silently accepted")
+
+    @rule(source=st.integers(0, NUM_CORES - 1), dest=st.integers(0, NUM_CORES - 1))
+    def try_migrate(self, source, dest):
+        state = self.state
+        legal = (
+            source != dest
+            and state.assignment[source] >= 0
+            and state.assignment[dest] < 0
+        )
+        if legal:
+            before_on = state.dcm.num_on
+            state.migrate(source, dest)
+            assert state.dcm.num_on <= before_on
+        else:
+            try:
+                state.migrate(source, dest)
+            except ValueError:
+                return
+            raise AssertionError("illegal migrate() silently accepted")
+
+    @rule(core=st.integers(0, NUM_CORES - 1))
+    def try_power_toggle(self, core):
+        state = self.state
+        if state.powered_on[core]:
+            if state.assignment[core] < 0:
+                state.power_off(core)
+        else:
+            state.power_on(core)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def structural_invariants_hold(self):
+        if not hasattr(self, "state"):
+            return
+        self.state.validate()
+
+    @invariant()
+    def threads_mapped_at_most_once(self):
+        if not hasattr(self, "state"):
+            return
+        mapped = self.state.assignment
+        mapped = mapped[mapped >= 0]
+        assert len(set(mapped.tolist())) == len(mapped)
+
+    @invariant()
+    def busy_cores_have_frequency(self):
+        if not hasattr(self, "state"):
+            return
+        state = self.state
+        busy = state.assignment >= 0
+        assert (state.freq_ghz[busy] > 0).all()
+        assert (state.freq_ghz[~busy] == 0).all()
+
+
+TestChipStateMachine = ChipStateMachine.TestCase
+TestChipStateMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,92 @@
+"""Edge coverage for small behaviours not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.aging.tables import default_aging_table
+from repro.mapping import ChipState, DarkCoreMap
+from repro.noc.traffic import _intensity_of
+from repro.power import FrequencyLadder
+from repro.workload import make_mix
+from repro.workload.application import ThreadSpec
+from repro.workload.traces import PhaseTrace
+
+
+class TestDefaultTableCache:
+    def test_cached_instance_shared(self):
+        assert default_aging_table() is default_aging_table()
+
+    def test_production_grid_is_fine(self):
+        table = default_aging_table()
+        assert len(table.duty_grid) >= 12
+        assert table.max_age_years >= 100.0
+
+
+class TestLadderImmutability:
+    def test_steps_copy_cannot_corrupt(self):
+        ladder = FrequencyLadder()
+        steps = ladder.steps_ghz
+        steps[:] = 0.0
+        assert ladder.quantize_down(2.5) == pytest.approx(2.5)
+
+
+class TestTrafficIntensityFallback:
+    def test_unknown_app_gets_default(self):
+        threads = make_mix(["swaptions"], 2, np.random.default_rng(0)).threads
+        state = ChipState(4, threads, DarkCoreMap.from_on_indices(4, [0, 1]))
+        assert _intensity_of(state, "mystery#0") == pytest.approx(0.1)
+
+    def test_known_app_resolves_profile(self):
+        threads = make_mix(["dedup"], 3, np.random.default_rng(0)).threads
+        state = ChipState(4, threads, DarkCoreMap.from_on_indices(4, [0, 1, 2]))
+        assert _intensity_of(state, "dedup#7") == pytest.approx(0.45)
+
+
+class TestChipStateEdges:
+    def test_fence_rejects_powered_cores(self):
+        threads = make_mix(["swaptions"], 1, np.random.default_rng(0)).threads
+        state = ChipState(4, threads, DarkCoreMap.from_on_indices(4, [0]))
+        with pytest.raises(ValueError, match="dark"):
+            state.fence(np.array([0]))
+
+    def test_fence_replaces_previous_fence(self):
+        threads = make_mix(["swaptions"], 1, np.random.default_rng(0)).threads
+        state = ChipState(4, threads, DarkCoreMap.from_on_indices(4, [0]))
+        state.fence(np.array([1, 2]))
+        state.fence(np.array([3]))
+        np.testing.assert_array_equal(
+            state.fenced, [False, False, False, True]
+        )
+
+    def test_add_thread_returns_index(self):
+        threads = make_mix(["swaptions"], 1, np.random.default_rng(0)).threads
+        state = ChipState(4, threads, DarkCoreMap.from_on_indices(4, [0]))
+        trace = PhaseTrace(0.5, 0.1, 1.0, np.random.default_rng(1))
+        spec = ThreadSpec("late#0", 0, 2.0, 0.5, 1.0, trace)
+        assert state.add_thread(spec) == 1
+        assert state.threads[1] is spec
+
+
+class TestContextAccessors:
+    def test_measured_fmax_uses_sensor_health(self, chip, aging_table):
+        from repro.sim import ChipContext
+
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        np.testing.assert_allclose(
+            ctx.measured_fmax_ghz(),
+            chip.fmax_init_ghz * ctx.measured_health(),
+        )
+
+    def test_read_temps_quantized(self, chip, aging_table):
+        from repro.sim import ChipContext
+
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        out = ctx.read_temps(np.full(64, 350.26))
+        np.testing.assert_allclose(out, 350.5)
+
+    def test_chip_seed_token_stable(self, chip, aging_table):
+        from repro.sim import ChipContext
+
+        a = ChipContext(chip, aging_table).chip_seed_token()
+        b = ChipContext(chip, aging_table).chip_seed_token()
+        assert a == b

@@ -1,0 +1,95 @@
+"""Traffic matrices and mapping-level NoC metrics."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan import Floorplan
+from repro.mapping import ChipState, DarkCoreMap
+from repro.noc import MeshTopology, evaluate_mapping, traffic_matrix
+from repro.workload import make_mix
+
+
+def build_state(cores_for_threads, mix_names=("dedup", "ferret"), n=16):
+    threads = make_mix(list(mix_names), len(cores_for_threads), np.random.default_rng(0)).threads
+    dcm = DarkCoreMap.from_on_indices(n, cores_for_threads)
+    state = ChipState(n, threads, dcm)
+    for i, core in enumerate(cores_for_threads):
+        state.place(i, core, 2.5)
+    return state
+
+
+class TestTrafficMatrix:
+    def test_same_app_threads_communicate(self):
+        state = build_state([0, 1, 2, 3, 4, 5, 6])
+        traffic = traffic_matrix(state)
+        # dedup has min 3 threads; its threads talk pairwise.
+        app0_cores = [
+            c for c in range(7)
+            if state.threads[state.assignment[c]].app_name.startswith("dedup")
+        ]
+        a, b = app0_cores[0], app0_cores[1]
+        assert traffic[a, b] > 0
+
+    def test_cross_app_silence(self):
+        state = build_state([0, 1, 2, 3, 4, 5, 6])
+        traffic = traffic_matrix(state)
+        dedup = [
+            c for c in range(7)
+            if state.threads[state.assignment[c]].app_name.startswith("dedup")
+        ]
+        ferret = [
+            c for c in range(7)
+            if state.threads[state.assignment[c]].app_name.startswith("ferret")
+        ]
+        assert traffic[dedup[0], ferret[0]] == 0.0
+
+    def test_scales_with_frequency(self):
+        slow = build_state([0, 1, 2, 3, 4, 5, 6])
+        fast = build_state([0, 1, 2, 3, 4, 5, 6])
+        for core in range(7):
+            fast.set_frequency(core, 3.0)
+        assert traffic_matrix(fast).sum() > traffic_matrix(slow).sum()
+
+    def test_empty_mapping_no_traffic(self):
+        threads = make_mix(["dedup"], 3, np.random.default_rng(0)).threads
+        state = ChipState(16, threads, DarkCoreMap.from_on_indices(16, [0, 1, 2]))
+        assert traffic_matrix(state).sum() == 0.0
+
+    def test_rejects_nonpositive_nominal(self):
+        state = build_state([0, 1, 2, 3, 4, 5, 6])
+        with pytest.raises(ValueError):
+            traffic_matrix(state, nominal_ghz=0.0)
+
+
+class TestEvaluateMapping:
+    def test_packed_cheaper_than_spread(self):
+        """The Fattah objective: contiguity reduces weighted hops."""
+        mesh = MeshTopology(Floorplan(4, 4))
+        packed = build_state([0, 1, 2, 4, 5, 6, 8])
+        spread = build_state([0, 3, 12, 15, 5, 10, 6])
+        report_packed = evaluate_mapping(packed, mesh)
+        report_spread = evaluate_mapping(spread, mesh)
+        assert report_packed.weighted_hops < report_spread.weighted_hops
+        assert report_packed.mean_hops < report_spread.mean_hops
+
+    def test_total_traffic_mapping_invariant(self):
+        """Injected traffic depends on the mix, not on placement."""
+        mesh = MeshTopology(Floorplan(4, 4))
+        a = build_state([0, 1, 2, 4, 5, 6, 8])
+        b = build_state([0, 3, 12, 15, 5, 10, 6])
+        ra = evaluate_mapping(a, mesh)
+        rb = evaluate_mapping(b, mesh)
+        assert ra.total_traffic == pytest.approx(rb.total_traffic)
+
+    def test_power_proportional_to_weighted_hops(self):
+        mesh = MeshTopology(Floorplan(4, 4))
+        state = build_state([0, 1, 2, 4, 5, 6, 8])
+        report = evaluate_mapping(state, mesh)
+        assert report.noc_power_w == pytest.approx(
+            report.weighted_hops * 8.0e-3
+        )
+
+    def test_congestion_positive_when_traffic_flows(self):
+        mesh = MeshTopology(Floorplan(4, 4))
+        state = build_state([0, 1, 2, 4, 5, 6, 8])
+        assert evaluate_mapping(state, mesh).max_link_load > 0

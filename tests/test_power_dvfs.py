@@ -1,0 +1,81 @@
+"""DVFS frequency ladder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power import FrequencyLadder
+
+
+@pytest.fixture()
+def ladder():
+    return FrequencyLadder(min_ghz=0.4, max_ghz=4.4, step_ghz=0.1)
+
+
+class TestConstruction:
+    def test_step_count(self, ladder):
+        assert len(ladder) == 41
+        assert ladder.steps_ghz[0] == pytest.approx(0.4)
+        assert ladder.steps_ghz[-1] == pytest.approx(4.4)
+
+    def test_rejects_inverted_span(self):
+        with pytest.raises(ValueError):
+            FrequencyLadder(min_ghz=2.0, max_ghz=1.0)
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            FrequencyLadder(step_ghz=0.0)
+
+
+class TestQuantization:
+    def test_up_rounds_to_next_step(self, ladder):
+        assert ladder.quantize_up(2.41) == pytest.approx(2.5)
+
+    def test_up_exact_step_unchanged(self, ladder):
+        assert ladder.quantize_up(2.5) == pytest.approx(2.5)
+
+    def test_down_rounds_to_previous_step(self, ladder):
+        assert ladder.quantize_down(2.49) == pytest.approx(2.4)
+
+    def test_down_exact_step_unchanged(self, ladder):
+        assert ladder.quantize_down(2.5) == pytest.approx(2.5)
+
+    def test_up_clamps_at_top(self, ladder):
+        assert ladder.quantize_up(9.0) == pytest.approx(4.4)
+
+    def test_down_clamps_at_bottom(self, ladder):
+        assert ladder.quantize_down(0.05) == pytest.approx(0.4)
+
+    def test_broadcasts(self, ladder):
+        out = ladder.quantize_up(np.array([1.01, 2.99]))
+        np.testing.assert_allclose(out, [1.1, 3.0])
+
+    def test_rejects_negative(self, ladder):
+        with pytest.raises(ValueError):
+            ladder.quantize_up(-1.0)
+
+
+class TestFeasibility:
+    def test_feasible_with_headroom(self, ladder):
+        assert ladder.feasible(required_ghz=2.45, safe_ghz=2.62)
+
+    def test_infeasible_when_steps_dont_fit(self, ladder):
+        # requirement rounds up to 2.5, ceiling rounds down to 2.4
+        assert not ladder.feasible(required_ghz=2.45, safe_ghz=2.49)
+
+    def test_exact_fit(self, ladder):
+        assert ladder.feasible(required_ghz=2.5, safe_ghz=2.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(freq=st.floats(0.0, 5.0))
+def test_property_quantization_brackets(freq):
+    ladder = FrequencyLadder()
+    up = ladder.quantize_up(freq)
+    down = ladder.quantize_down(freq)
+    assert down <= up
+    if ladder.min_ghz <= freq <= ladder.max_ghz:
+        assert down <= freq + 1e-9
+        assert freq <= up + 1e-9
+        assert up - down <= ladder.step_ghz + 1e-9

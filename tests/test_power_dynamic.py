@@ -1,0 +1,47 @@
+"""Dynamic power model."""
+
+import numpy as np
+import pytest
+
+from repro.power import DynamicPowerModel
+
+
+class TestDynamicPower:
+    def test_calibration_point(self):
+        """~3.8 W for a fully-active core at 3 GHz / 1.13 V."""
+        model = DynamicPowerModel()
+        assert model.power_w(3.0, 1.0) == pytest.approx(3.83, abs=0.02)
+
+    def test_linear_in_frequency(self):
+        model = DynamicPowerModel()
+        assert model.power_w(2.0) == pytest.approx(2 * model.power_w(1.0))
+
+    def test_linear_in_activity(self):
+        model = DynamicPowerModel()
+        assert model.power_w(3.0, 0.5) == pytest.approx(0.5 * model.power_w(3.0, 1.0))
+
+    def test_quadratic_in_vdd(self):
+        low = DynamicPowerModel(vdd=1.0).power_w(3.0)
+        high = DynamicPowerModel(vdd=2.0).power_w(3.0)
+        assert high == pytest.approx(4 * low)
+
+    def test_zero_frequency_zero_power(self):
+        assert DynamicPowerModel().power_w(0.0) == 0.0
+
+    def test_array_broadcast(self):
+        model = DynamicPowerModel()
+        out = model.power_w(np.array([1.0, 2.0]), np.array([1.0, 0.5]))
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(model.power_w(1.0, 1.0))
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ValueError):
+            DynamicPowerModel().power_w(-1.0)
+
+    def test_rejects_activity_above_one(self):
+        with pytest.raises(ValueError):
+            DynamicPowerModel().power_w(1.0, 1.5)
+
+    def test_rejects_nonpositive_ceff(self):
+        with pytest.raises(ValueError):
+            DynamicPowerModel(ceff_nf=0.0)

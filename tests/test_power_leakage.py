@@ -1,0 +1,80 @@
+"""Leakage model: paper constants, temperature dependence, gating."""
+
+import numpy as np
+import pytest
+
+from repro.power import LeakageModel
+from repro.power.leakage import REFERENCE_TEMP_K
+
+
+class TestPaperConstants:
+    def test_nominal_values(self):
+        model = LeakageModel()
+        assert model.nominal_w == pytest.approx(1.18)
+        assert model.gated_w == pytest.approx(0.019)
+
+    def test_nominal_at_reference(self):
+        model = LeakageModel()
+        assert model.power_w(REFERENCE_TEMP_K) == pytest.approx(1.18)
+
+
+class TestTemperatureDependence:
+    def test_unity_at_reference(self):
+        assert LeakageModel().temperature_factor(REFERENCE_TEMP_K) == pytest.approx(1.0)
+
+    def test_monotone_increasing(self):
+        model = LeakageModel()
+        temps = np.linspace(300.0, 420.0, 25)
+        factors = model.temperature_factor(temps)
+        assert (np.diff(factors) > 0).all()
+
+    def test_doubling_scale(self):
+        """beta = 0.014/K doubles leakage roughly every 50 K."""
+        model = LeakageModel()
+        ratio = model.temperature_factor(REFERENCE_TEMP_K + 50.0)
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_saturates_at_fit_limit(self):
+        model = LeakageModel()
+        at_limit = model.temperature_factor(model.fit_limit_k)
+        assert model.temperature_factor(model.fit_limit_k + 100.0) == pytest.approx(
+            at_limit
+        )
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            LeakageModel().temperature_factor(0.0)
+
+
+class TestGatingAndVariation:
+    def test_gated_core_draws_residual(self):
+        model = LeakageModel()
+        assert model.power_w(400.0, 2.0, powered_on=False) == pytest.approx(0.019)
+
+    def test_gated_leakage_temperature_independent(self):
+        model = LeakageModel()
+        a = model.power_w(300.0, 1.0, powered_on=False)
+        b = model.power_w(420.0, 1.0, powered_on=False)
+        assert a == b
+
+    def test_variation_scales_linearly(self):
+        model = LeakageModel()
+        base = model.power_w(350.0, 1.0)
+        assert model.power_w(350.0, 2.5) == pytest.approx(2.5 * base)
+
+    def test_array_power_states(self):
+        model = LeakageModel()
+        out = model.power_w(
+            np.array([330.0, 330.0]),
+            np.array([1.0, 1.0]),
+            powered_on=np.array([True, False]),
+        )
+        np.testing.assert_allclose(out, [1.18, 0.019])
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            LeakageModel().power_w(330.0, 0.0)
+
+    def test_rejects_fit_limit_below_reference(self):
+        with pytest.raises(ValueError):
+            LeakageModel(fit_limit_k=300.0)

@@ -1,0 +1,61 @@
+"""Combined power model (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.power import DynamicPowerModel, LeakageModel, PowerModel
+
+
+@pytest.fixture()
+def model():
+    return PowerModel(
+        DynamicPowerModel(), LeakageModel(), leakage_scale=np.array([1.0, 2.0, 0.5])
+    )
+
+
+class TestEvaluate:
+    def test_breakdown_shapes(self, model):
+        out = model.evaluate(
+            freq_ghz=np.array([3.0, 2.0, 0.0]),
+            activity=np.array([1.0, 0.5, 0.0]),
+            temp_k=np.full(3, 330.0),
+            powered_on=np.array([True, True, False]),
+        )
+        assert out.dynamic_w.shape == (3,)
+        assert out.leakage_w.shape == (3,)
+        assert out.chip_total_w == pytest.approx(out.total_w.sum())
+
+    def test_dark_core_has_no_dynamic_power(self, model):
+        out = model.evaluate(
+            freq_ghz=np.array([3.0, 3.0, 3.0]),
+            activity=np.ones(3),
+            temp_k=np.full(3, 330.0),
+            powered_on=np.array([True, True, False]),
+        )
+        assert out.dynamic_w[2] == 0.0
+        assert out.leakage_w[2] == pytest.approx(0.019)
+
+    def test_leakage_scale_applied_per_core(self, model):
+        out = model.evaluate(
+            freq_ghz=np.zeros(3),
+            activity=np.zeros(3),
+            temp_k=np.full(3, 330.0),
+            powered_on=np.ones(3, dtype=bool),
+        )
+        np.testing.assert_allclose(out.leakage_w, 1.18 * np.array([1.0, 2.0, 0.5]))
+
+    def test_shape_mismatch_rejected(self, model):
+        with pytest.raises(ValueError, match="freq_ghz"):
+            model.evaluate(
+                np.zeros(2), np.zeros(3), np.full(3, 330.0), np.ones(3, dtype=bool)
+            )
+
+    def test_for_chip_shares_parameters(self, chip):
+        model = PowerModel.for_chip(chip)
+        assert model.dynamic.vdd == chip.params.vdd
+        assert model.num_cores == chip.num_cores
+        np.testing.assert_array_equal(model.leakage_scale, chip.leakage_scale)
+
+    def test_rejects_bad_leakage_scale(self):
+        with pytest.raises(ValueError):
+            PowerModel(DynamicPowerModel(), LeakageModel(), np.array([1.0, -1.0]))

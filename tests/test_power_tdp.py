@@ -1,0 +1,80 @@
+"""TDP budgets and the dark-silicon arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.power import TDPBudget, dark_silicon_projection
+
+
+class TestMaxCoresOn:
+    def test_uniform_power(self):
+        budget = TDPBudget(100.0)
+        power = np.full(64, 4.0)
+        # 25 cores at 4 W = 100 W, but 39 gated cores add ~0.74 W.
+        assert budget.max_cores_on(power) == 24
+
+    def test_cheapest_first(self):
+        budget = TDPBudget(10.0)
+        power = np.array([9.0, 1.0, 1.0, 1.0])
+        # Three 1 W cores + one gated beat one 9 W core.
+        assert budget.max_cores_on(power, gated_power_w=0.0) == 3
+
+    def test_zero_budget_impossible(self):
+        with pytest.raises(ValueError):
+            TDPBudget(0.0)
+
+    def test_all_cores_fit_with_huge_budget(self):
+        budget = TDPBudget(1e6)
+        assert budget.max_cores_on(np.full(64, 5.0)) == 64
+
+    def test_gated_leakage_counts(self):
+        budget = TDPBudget(1.0)
+        power = np.full(4, 0.5)
+        # gated leakage 0.3 each: 0 on -> 1.2 W > budget; even "none on"
+        # does not fit, so 0 cores.
+        assert budget.max_cores_on(power, gated_power_w=0.3) == 0
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            TDPBudget(10.0).max_cores_on(np.array([0.0, 1.0]))
+
+
+class TestDarkFraction:
+    def test_paper_scale_example(self, chip):
+        """With the paper's per-core power levels (~4-5 W at 3 GHz) and
+        a mobile-class 125 W TDP, an 8x8 chip is forced to keep well
+        over a third of its cores dark — the premise of the study."""
+        from repro.power import DynamicPowerModel, LeakageModel
+
+        dyn = DynamicPowerModel().power_w(3.0, 0.7)
+        leak = LeakageModel().power_w(360.0, chip.leakage_scale)
+        per_core = dyn + leak
+        fraction = TDPBudget(125.0).dark_fraction_required(per_core)
+        assert fraction > 0.35
+
+    def test_headroom(self):
+        budget = TDPBudget(100.0)
+        assert budget.headroom_w(80.0) == pytest.approx(20.0)
+        assert budget.headroom_w(120.0) == pytest.approx(-20.0)
+
+
+class TestProjection:
+    def test_cited_trend_reproduced(self):
+        """[3]: ~13 % at 16 nm, ~16 % at 11 nm, > 40 % at 8 nm."""
+        assert dark_silicon_projection(16.0) == pytest.approx(0.13)
+        assert 0.14 < dark_silicon_projection(11.0) < 0.22
+        assert dark_silicon_projection(8.0) > 0.20
+
+    def test_monotone_in_scaling(self):
+        nodes = [22.0, 16.0, 11.0, 8.0, 5.0]
+        fractions = [dark_silicon_projection(n) for n in nodes]
+        assert all(b > a for a, b in zip(fractions, fractions[1:]))
+
+    def test_capped(self):
+        assert dark_silicon_projection(1.0) <= 0.95
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            dark_silicon_projection(0.0)
+        with pytest.raises(ValueError):
+            dark_silicon_projection(16.0, scaling_per_node=0.9)

@@ -1,0 +1,99 @@
+"""Cross-cutting hypothesis property tests on model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aging import NBTIModel
+from repro.core import WeightingFunction
+from repro.floorplan import Floorplan
+from repro.thermal import ThermalRCNetwork
+
+
+@pytest.fixture(scope="module")
+def small_net():
+    return ThermalRCNetwork(Floorplan(3, 3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    power_a=st.lists(st.floats(0.0, 8.0), min_size=9, max_size=9),
+    power_b=st.lists(st.floats(0.0, 8.0), min_size=9, max_size=9),
+)
+def test_thermal_monotone_in_power(power_a, power_b):
+    """Adding power anywhere never cools anything (M-matrix property)."""
+    net = ThermalRCNetwork(Floorplan(3, 3))
+    a = np.array(power_a)
+    b = np.maximum(a, np.array(power_b))
+    t_a = net.steady_state(a)
+    t_b = net.steady_state(b)
+    assert (t_b >= t_a - 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    temp=st.floats(300.0, 420.0),
+    duty=st.floats(0.0, 1.0),
+    y1=st.floats(0.0, 10.0),
+    y2=st.floats(0.0, 10.0),
+)
+def test_nbti_additive_in_equivalent_age(temp, duty, y1, y2):
+    """dVth(y1+y2) >= dVth(y1): stress never heals in the long-term
+    envelope, and the shift is concave (subadditive) in time."""
+    model = NBTIModel()
+    total = model.delta_vth(temp, y1 + y2, duty)
+    first = model.delta_vth(temp, y1, duty)
+    second = model.delta_vth(temp, y2, duty)
+    assert total >= first - 1e-15
+    assert total <= first + second + 1e-12  # concavity: subadditive
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fmax=st.floats(1.0, 4.0),
+    freq=st.floats(0.5, 4.0),
+    h_next=st.floats(0.5, 1.0),
+    h_now=st.floats(0.5, 1.0),
+    years=st.floats(0.0, 10.0),
+)
+def test_weighting_bounded_and_finite(fmax, freq, h_next, h_now, years):
+    wf = WeightingFunction()
+    weight = wf.weight(fmax, freq, h_next, h_now, years)
+    assert np.isfinite(weight)
+    # Frequency term capped at wmax, health term at beta * h_next/h_now.
+    _, beta = wf.config.coefficients(years)
+    assert weight <= wf.config.wmax + beta * (h_next / h_now) + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    duty=st.floats(0.05, 1.0),
+    temp=st.floats(310.0, 410.0),
+    h=st.floats(0.75, 1.0),
+    dt1=st.floats(0.1, 2.0),
+    dt2=st.floats(0.1, 2.0),
+)
+def test_table_walk_composition(aging_table_module, duty, temp, h, dt1, dt2):
+    """Walking the table twice equals one combined walk under constant
+    conditions (the equivalent-age composition law), within
+    interpolation tolerance."""
+    table = aging_table_module
+    h0 = np.array([h])
+    stepped = table.next_health(
+        temp, duty, table.next_health(temp, duty, h0, dt1), dt2
+    )
+    direct = table.next_health(temp, duty, h0, dt1 + dt2)
+    assert abs(float(stepped[0] - direct[0])) < 5e-3
+
+
+@pytest.fixture(scope="module")
+def aging_table_module():
+    from repro.aging import CoreAgingEstimator, build_aging_table
+
+    return build_aging_table(
+        CoreAgingEstimator(),
+        temp_grid_k=np.arange(290.0, 431.0, 20.0),
+        duty_grid=np.concatenate([[0.0], np.geomspace(0.05, 1.0, 8)]),
+        age_grid_years=np.concatenate([[0.0], np.geomspace(0.1, 120.0, 16)]),
+    )

@@ -1,0 +1,91 @@
+"""Library-wide quality gates: docstrings and API hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.aging",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.circuit",
+    "repro.core",
+    "repro.dtm",
+    "repro.floorplan",
+    "repro.mapping",
+    "repro.noc",
+    "repro.power",
+    "repro.sim",
+    "repro.thermal",
+    "repro.util",
+    "repro.variation",
+    "repro.workload",
+]
+
+
+def all_modules():
+    modules = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        modules.append(package)
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                if info.name.startswith("_"):  # __main__ runs the CLI
+                    continue
+                if info.ispkg:
+                    continue  # subpackages are listed in PACKAGES
+                modules.append(
+                    importlib.import_module(f"{package_name}.{info.name}")
+                )
+    return modules
+
+
+@pytest.mark.parametrize("module", all_modules(), ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", all_modules(), ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    """Every public function/class defined in the library has a
+    docstring, and every public method of every public class too."""
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", "").split(".")[0] != "repro":
+            continue
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            missing.append(f"{module.__name__}.{name}")
+        if inspect.isclass(obj):
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if not (method.__doc__ and method.__doc__.strip()):
+                    missing.append(
+                        f"{module.__name__}.{name}.{method_name}"
+                    )
+    assert not missing, f"undocumented public API: {missing}"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_package_exports_match_all():
+    """Every subpackage's __all__ resolves and is sorted."""
+    for package_name in PACKAGES[1:]:
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", [])
+        for name in exported:
+            assert hasattr(package, name), f"{package_name}.{name}"

@@ -1,0 +1,39 @@
+"""Seed robustness: the headline ordering must not be a seed artifact.
+
+Tiny-scale replications of the Fig. 7/9 orderings across independent
+silicon and workload seeds.  These are smoke-level (2 chips, short
+lifetimes); the full population statistics live in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VAAManager
+from repro.core import HayatManager
+from repro.sim import SimulationConfig, run_campaign
+from repro.variation import generate_population
+
+
+@pytest.mark.parametrize("pop_seed,wl_seed", [(1, 10), (2, 20), (3, 30)])
+def test_hayat_ordering_across_seeds(aging_table, pop_seed, wl_seed):
+    cfg = SimulationConfig(
+        lifetime_years=2.0, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=10.0, seed=wl_seed,
+    )
+    campaign = run_campaign(
+        [VAAManager(), HayatManager()],
+        config=cfg,
+        population=generate_population(2, seed=pop_seed),
+        table=aging_table,
+    )
+    vaa_events = sum(r.total_dtm_events() for r in campaign.results["vaa"])
+    hayat_events = sum(r.total_dtm_events() for r in campaign.results["hayat"])
+    assert hayat_events <= vaa_events
+
+    vaa_chip_rate = np.mean(
+        [r.chip_fmax_aging_rate() for r in campaign.results["vaa"]]
+    )
+    hayat_chip_rate = np.mean(
+        [r.chip_fmax_aging_rate() for r in campaign.results["hayat"]]
+    )
+    assert hayat_chip_rate <= vaa_chip_rate + 1e-9

@@ -1,0 +1,67 @@
+"""Sensor calibration bias: the dangerous failure mode.
+
+A sensor that under-reports hides real violations from DTM; the
+ground-truth violation counter must expose them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ContiguousManager
+from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig
+from repro.thermal import ThermalSensor
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SimulationConfig(
+        lifetime_years=0.5, epoch_years=0.5, dark_fraction_min=0.25,
+        window_s=10.0, seed=12,
+    )
+
+
+def run_with_bias(chip, table, cfg, bias_k):
+    sensor = ThermalSensor(resolution_k=0.5, bias_k=bias_k)
+    ctx = ChipContext(
+        chip, table, dark_fraction_min=0.25, thermal_sensor=sensor
+    )
+    # The dense contiguous policy at a 25 % floor stresses the DTM loop.
+    return LifetimeSimulator(cfg).run(ctx, ContiguousManager())
+
+
+class TestSensorBias:
+    def test_bias_applied_to_readings(self):
+        sensor = ThermalSensor(resolution_k=0.5, bias_k=-4.0)
+        out = sensor.read(np.array([350.0]))
+        assert out[0] == pytest.approx(346.0)
+
+    def test_underreporting_hides_violations(self, chip, aging_table, cfg):
+        """With a -6 K bias, ground truth spends more core-steps above
+        Tsafe than with honest sensors."""
+        honest = run_with_bias(chip, aging_table, cfg, 0.0)
+        lying = run_with_bias(chip, aging_table, cfg, -6.0)
+        v_honest = sum(e.tsafe_violation_steps for e in honest.epochs)
+        v_lying = sum(e.tsafe_violation_steps for e in lying.epochs)
+        assert v_lying >= v_honest
+
+    def test_overreporting_is_conservative(self, chip, aging_table, cfg):
+        """A +6 K bias triggers DTM earlier, so the chip spends fewer
+        ground-truth core-steps above Tsafe.  (The *event count* can go
+        either way: reacting early can mean one clean migration instead
+        of an escalating throttle storm.)"""
+        honest = run_with_bias(chip, aging_table, cfg, 0.0)
+        cautious = run_with_bias(chip, aging_table, cfg, +6.0)
+        v_honest = sum(e.tsafe_violation_steps for e in honest.epochs)
+        v_cautious = sum(e.tsafe_violation_steps for e in cautious.epochs)
+        assert v_cautious <= v_honest
+
+    def test_violation_counter_zero_on_cool_runs(self, chip, aging_table):
+        from repro.core import HayatManager
+
+        cfg = SimulationConfig(
+            lifetime_years=0.5, epoch_years=0.5, dark_fraction_min=0.5,
+            window_s=10.0, seed=12,
+        )
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        result = LifetimeSimulator(cfg).run(ctx, HayatManager())
+        assert all(e.tsafe_violation_steps == 0 for e in result.epochs)

@@ -1,0 +1,75 @@
+"""Campaign orchestration and normalized comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VAAManager
+from repro.core import HayatManager
+from repro.sim import SimulationConfig, run_campaign
+from repro.variation import generate_population
+
+
+@pytest.fixture(scope="module")
+def campaign(aging_table):
+    cfg = SimulationConfig(
+        lifetime_years=1.0,
+        epoch_years=0.5,
+        dark_fraction_min=0.5,
+        window_s=5.0,
+        seed=9,
+    )
+    population = generate_population(2, seed=11)
+    return run_campaign(
+        [VAAManager(), HayatManager()],
+        config=cfg,
+        population=population,
+        table=aging_table,
+    )
+
+
+class TestCampaign:
+    def test_all_policies_ran_all_chips(self, campaign):
+        assert campaign.policies() == ["vaa", "hayat"]
+        assert len(campaign.results["vaa"]) == 2
+        assert len(campaign.results["hayat"]) == 2
+
+    def test_same_silicon_for_both_policies(self, campaign):
+        for a, b in zip(campaign.results["vaa"], campaign.results["hayat"]):
+            assert a.chip_id == b.chip_id
+            np.testing.assert_array_equal(a.fmax_init_ghz, b.fmax_init_ghz)
+
+    def test_normalized_metrics_finite(self, campaign):
+        for fn in (
+            campaign.normalized_temp_rise,
+            campaign.normalized_chip_fmax_aging,
+            campaign.normalized_avg_fmax_aging,
+        ):
+            values = fn("vaa", "hayat")
+            assert np.isfinite(values).all()
+
+    def test_baseline_normalizes_to_one(self, campaign):
+        np.testing.assert_allclose(
+            campaign.normalized_temp_rise("vaa", "vaa"), 1.0
+        )
+
+    def test_trajectory_shape(self, campaign):
+        traj = campaign.mean_avg_fmax_trajectory("hayat")
+        assert traj.shape == (2,)
+
+    def test_lifetime_summary_runs(self, campaign):
+        value = campaign.mean_lifetime_at_requirement("hayat", 1.0)
+        assert value == pytest.approx(1.0)  # loose requirement -> full span
+
+    def test_progress_callback(self, aging_table):
+        seen = []
+        cfg = SimulationConfig(
+            lifetime_years=0.5, epoch_years=0.5, window_s=3.0, seed=1
+        )
+        run_campaign(
+            [HayatManager()],
+            num_chips=1,
+            config=cfg,
+            table=aging_table,
+            progress=lambda policy, chip: seen.append((policy, chip)),
+        )
+        assert seen == [("hayat", "chip-00")]

@@ -1,0 +1,86 @@
+"""Application departures within an epoch window."""
+
+import numpy as np
+import pytest
+
+from repro.core import HayatManager
+from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig
+from repro.workload import ArrivalEvent, ArrivalSchedule, poisson_arrivals
+from repro.workload.application import Application
+from repro.workload.profiles import profile
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SimulationConfig(
+        lifetime_years=0.5, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=20.0, load_factor=0.5, seed=6,
+    )
+
+
+def short_job_schedule(epoch, window_s, rng):
+    """One application that arrives early and departs mid-window."""
+    app = Application.spawn(profile("swaptions"), 2, rng, instance=500)
+    return ArrivalSchedule(
+        [ArrivalEvent(time_s=2.0, application=app, duration_s=6.0)]
+    )
+
+
+class TestDepartures:
+    def test_departed_threads_not_qos_violations(self, chip, aging_table, cfg):
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        sim = LifetimeSimulator(cfg, arrivals_factory=short_job_schedule)
+        result = sim.run(ctx, HayatManager())
+        epoch = result.epochs[0]
+        assert epoch.arrivals == 2
+        # The base mix is fully served and the short job completed:
+        # no violations from the departure.
+        assert epoch.qos_violations == 0
+
+    def test_cores_gated_after_departure(self, chip, aging_table, cfg):
+        """The on-core count at window end matches the base mix only
+        (departed threads' cores were power-gated again)."""
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        base_threads = max(1, int(round(ctx.max_on_cores * cfg.load_factor)))
+        sim = LifetimeSimulator(cfg, arrivals_factory=short_job_schedule)
+        result = sim.run(ctx, HayatManager())
+        # Duty accumulated on the short job's cores is small (6 s of 20).
+        duties = result.epochs[0].duties
+        assert (duties > 0).sum() <= base_threads + 2
+
+    def test_open_ended_arrivals_never_depart(self, chip, aging_table, cfg):
+        def open_schedule(epoch, window_s, rng):
+            app = Application.spawn(profile("swaptions"), 2, rng, instance=501)
+            return ArrivalSchedule([ArrivalEvent(time_s=2.0, application=app)])
+
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        sim = LifetimeSimulator(cfg, arrivals_factory=open_schedule)
+        result = sim.run(ctx, HayatManager())
+        assert result.epochs[0].qos_violations == 0
+
+
+class TestScheduleDurations:
+    def test_departure_time(self):
+        app = Application.spawn(profile("swaptions"), 1, np.random.default_rng(0))
+        event = ArrivalEvent(time_s=3.0, application=app, duration_s=4.0)
+        assert event.departure_s == pytest.approx(7.0)
+
+    def test_open_ended_is_inf(self):
+        app = Application.spawn(profile("swaptions"), 1, np.random.default_rng(0))
+        assert np.isinf(ArrivalEvent(1.0, app).departure_s)
+
+    def test_rejects_nonpositive_duration(self):
+        app = Application.spawn(profile("swaptions"), 1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ArrivalEvent(1.0, app, duration_s=0.0)
+
+    def test_poisson_durations_drawn(self):
+        schedule = poisson_arrivals(
+            200.0, 10.0, np.random.default_rng(1), mean_duration_s=30.0
+        )
+        durations = [e.duration_s for e in schedule]
+        assert all(d is not None and d > 0 for d in durations)
+
+    def test_poisson_open_ended_by_default(self):
+        schedule = poisson_arrivals(100.0, 10.0, np.random.default_rng(2))
+        assert all(e.duration_s is None for e in schedule)

@@ -1,0 +1,83 @@
+"""JSON/CSV export of lifetime results."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.core import HayatManager
+from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig
+from repro.sim.export import (
+    CSV_FIELDS,
+    load_results_json,
+    result_from_dict,
+    result_to_dict,
+    save_results_json,
+    save_summary_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def result(chip, aging_table):
+    cfg = SimulationConfig(
+        lifetime_years=1.0, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=5.0, seed=2,
+    )
+    ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+    return LifetimeSimulator(cfg).run(ctx, HayatManager())
+
+
+class TestJsonRoundTrip:
+    def test_dict_roundtrip_is_lossless(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.chip_id == result.chip_id
+        assert restored.policy_name == result.policy_name
+        np.testing.assert_array_equal(restored.fmax_init_ghz, result.fmax_init_ghz)
+        assert len(restored.epochs) == len(result.epochs)
+        np.testing.assert_array_equal(
+            restored.health_trajectory(), result.health_trajectory()
+        )
+        assert restored.total_dtm_events() == result.total_dtm_events()
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = str(tmp_path / "results.json")
+        save_results_json([result, result], path)
+        loaded = load_results_json(path)
+        assert len(loaded) == 2
+        np.testing.assert_array_equal(
+            loaded[0].health_trajectory(), result.health_trajectory()
+        )
+
+    def test_derived_metrics_survive(self, result, tmp_path):
+        path = str(tmp_path / "r.json")
+        save_results_json([result], path)
+        loaded = load_results_json(path)[0]
+        assert loaded.avg_fmax_aging_rate() == pytest.approx(
+            result.avg_fmax_aging_rate()
+        )
+        assert loaded.lifetime_at_requirement_years(2.0) == pytest.approx(
+            result.lifetime_at_requirement_years(2.0)
+        )
+
+
+class TestCsvSummary:
+    def test_row_per_epoch(self, result, tmp_path):
+        path = str(tmp_path / "summary.csv")
+        save_summary_csv([result], path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(result.epochs)
+        assert set(rows[0]) == set(CSV_FIELDS)
+
+    def test_values_match_result(self, result, tmp_path):
+        path = str(tmp_path / "summary.csv")
+        save_summary_csv([result], path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        first = rows[0]
+        assert first["chip_id"] == result.chip_id
+        assert first["policy"] == "hayat"
+        assert int(first["dtm_migrations"]) == result.epochs[0].dtm_migrations
+        assert float(first["mean_health"]) == pytest.approx(
+            float(result.epochs[0].health_after.mean()), abs=1e-6
+        )

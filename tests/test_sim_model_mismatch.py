@@ -1,0 +1,88 @@
+"""Robustness to aging-model miscalibration.
+
+The manager's 3D tables come from offline SPICE calibration; real
+silicon can age faster or slower than the vendor model.  These tests
+inject a mismatched manager table (Eq. 7 prefactor off by +/- 25 %) and
+check that the control loop keeps working and Hayat keeps beating VAA —
+the technique must not depend on a perfect oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aging import CoreAgingEstimator, NBTIModel, build_aging_table
+from repro.baselines import VAAManager
+from repro.core import HayatManager
+from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig
+
+
+def scaled_table(prefactor_scale: float):
+    nbti = NBTIModel(prefactor=3.4 * prefactor_scale)
+    return build_aging_table(
+        CoreAgingEstimator(nbti=nbti),
+        temp_grid_k=np.arange(290.0, 431.0, 20.0),
+        duty_grid=np.concatenate([[0.0], np.geomspace(0.05, 1.0, 8)]),
+        age_grid_years=np.concatenate([[0.0], np.geomspace(0.1, 120.0, 16)]),
+    )
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SimulationConfig(
+        lifetime_years=2.0, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=10.0, seed=13,
+    )
+
+
+class TestMismatch:
+    @pytest.mark.parametrize("scale", [0.75, 1.25])
+    def test_loop_survives_miscalibration(self, chip, aging_table, cfg, scale):
+        ctx = ChipContext(
+            chip,
+            aging_table,
+            dark_fraction_min=0.5,
+            manager_table=scaled_table(scale),
+        )
+        result = LifetimeSimulator(cfg).run(ctx, HayatManager())
+        assert len(result.epochs) == cfg.num_epochs
+        # Ground-truth degradation is governed by the truth table, so
+        # end-of-life health must match the well-calibrated run's order
+        # of magnitude.
+        assert 0.8 < result.epochs[-1].health_after.mean() < 1.0
+
+    def test_truth_table_governs_degradation(self, chip, aging_table, cfg):
+        """Identical truth table, different manager tables: the *rate*
+        of real aging stays within a few percent — the manager's beliefs
+        only steer placement, not physics."""
+        healths = []
+        for scale in (1.0, 1.25):
+            ctx = ChipContext(
+                chip,
+                aging_table,
+                dark_fraction_min=0.5,
+                manager_table=scaled_table(scale),
+            )
+            result = LifetimeSimulator(cfg).run(ctx, HayatManager())
+            healths.append(float(result.epochs[-1].health_after.mean()))
+        assert abs(healths[0] - healths[1]) < 0.02
+
+    def test_hayat_still_beats_vaa_under_mismatch(self, chip, aging_table, cfg):
+        wrong = scaled_table(1.25)
+        results = {}
+        for policy in (HayatManager(), VAAManager()):
+            ctx = ChipContext(
+                chip, aging_table, dark_fraction_min=0.5, manager_table=wrong
+            )
+            results[policy.name] = LifetimeSimulator(cfg).run(ctx, policy)
+        assert (
+            results["hayat"].total_dtm_events()
+            <= results["vaa"].total_dtm_events()
+        )
+        assert (
+            results["hayat"].chip_fmax_aging_rate()
+            <= results["vaa"].chip_fmax_aging_rate()
+        )
+
+    def test_default_is_no_mismatch(self, chip, aging_table):
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        assert ctx.table is ctx.truth_table

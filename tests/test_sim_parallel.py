@@ -1,0 +1,47 @@
+"""Parallel campaign execution: bit-identical to serial."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VAAManager
+from repro.core import HayatManager
+from repro.sim import SimulationConfig, run_campaign
+from repro.variation import generate_population
+
+
+@pytest.fixture(scope="module")
+def pieces(aging_table):
+    cfg = SimulationConfig(
+        lifetime_years=0.5, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=5.0, seed=31,
+    )
+    population = generate_population(2, seed=19)
+    return cfg, population, aging_table
+
+
+class TestParallelCampaign:
+    def test_matches_serial_exactly(self, pieces):
+        cfg, population, table = pieces
+        serial = run_campaign(
+            [VAAManager(), HayatManager()],
+            config=cfg, population=population, table=table, workers=1,
+        )
+        parallel = run_campaign(
+            [VAAManager(), HayatManager()],
+            config=cfg, population=population, table=table, workers=2,
+        )
+        for name in ("vaa", "hayat"):
+            for a, b in zip(serial.results[name], parallel.results[name]):
+                assert a.chip_id == b.chip_id
+                assert a.total_dtm_events() == b.total_dtm_events()
+                np.testing.assert_array_equal(
+                    a.health_trajectory(), b.health_trajectory()
+                )
+
+    def test_rejects_bad_worker_count(self, pieces):
+        cfg, population, table = pieces
+        with pytest.raises(ValueError):
+            run_campaign(
+                [HayatManager()],
+                config=cfg, population=population, table=table, workers=0,
+            )

@@ -1,0 +1,66 @@
+"""Result-set drift comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core import HayatManager
+from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig, compare_results
+from repro.sim.export import load_results_json, save_results_json
+
+
+@pytest.fixture(scope="module")
+def result(chip, aging_table):
+    cfg = SimulationConfig(
+        lifetime_years=1.0, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=5.0, seed=14,
+    )
+    ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+    return LifetimeSimulator(cfg).run(ctx, HayatManager())
+
+
+class TestCompareResults:
+    def test_identical_runs_no_drift(self, result, tmp_path):
+        path = str(tmp_path / "base.json")
+        save_results_json([result], path)
+        baseline = load_results_json(path)
+        assert compare_results(baseline, [result]) == []
+
+    def test_detects_health_drift(self, result, tmp_path):
+        path = str(tmp_path / "base.json")
+        save_results_json([result], path)
+        mutated = load_results_json(path)
+        mutated[0].epochs[-1].health_after[:] *= 0.99
+        drifts = compare_results([result], mutated)
+        metrics = {d.metric for d in drifts}
+        assert "mean_final_health" in metrics
+
+    def test_tolerance_suppresses_small_drift(self, result, tmp_path):
+        path = str(tmp_path / "base.json")
+        save_results_json([result], path)
+        mutated = load_results_json(path)
+        mutated[0].epochs[-1].health_after[:] *= 1.0 - 1e-6
+        drifts = compare_results(
+            [result], mutated, tolerances={"mean_final_health": 1e-3}
+        )
+        assert all(d.metric != "mean_final_health" for d in drifts)
+
+    def test_mismatched_sets_rejected(self, result):
+        with pytest.raises(ValueError, match="pair up"):
+            compare_results([result], [])
+
+    def test_unknown_tolerance_rejected(self, result):
+        with pytest.raises(ValueError, match="unknown metrics"):
+            compare_results([result], [result], tolerances={"nope": 0.1})
+
+    def test_drift_description(self, result, tmp_path):
+        path = str(tmp_path / "base.json")
+        save_results_json([result], path)
+        mutated = load_results_json(path)
+        mutated[0].epochs[-1].health_after[:] *= 0.9
+        drift = [
+            d for d in compare_results([result], mutated)
+            if d.metric == "mean_final_health"
+        ][0]
+        text = drift.describe()
+        assert "hayat" in text and "mean_final_health" in text
+        assert drift.relative_change < 0

@@ -1,0 +1,51 @@
+"""Dark-fraction sweep helper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VAAManager
+from repro.core import HayatManager
+from repro.sim import SimulationConfig, sweep_dark_fractions
+from repro.variation import generate_population
+
+
+@pytest.fixture(scope="module")
+def sweep(aging_table):
+    cfg = SimulationConfig(
+        lifetime_years=1.0, epoch_years=0.5, window_s=5.0, seed=17
+    )
+    return sweep_dark_fractions(
+        [VAAManager(), HayatManager()],
+        fractions=[0.25, 0.5],
+        config=cfg,
+        population=generate_population(2, seed=9),
+        table=aging_table,
+    )
+
+
+class TestSweep:
+    def test_one_campaign_per_fraction(self, sweep):
+        assert set(sweep.campaigns) == {0.25, 0.5}
+        for campaign in sweep.campaigns.values():
+            assert campaign.policies() == ["vaa", "hayat"]
+
+    def test_dark_floor_propagated(self, sweep):
+        assert sweep.campaigns[0.25].config.dark_fraction_min == 0.25
+        assert sweep.campaigns[0.5].config.dark_fraction_min == 0.5
+
+    def test_metric_arrays_align_with_fractions(self, sweep):
+        temps = sweep.metric("temp", "vaa", "hayat")
+        assert temps.shape == (2,)
+        assert np.isfinite(temps).all()
+
+    def test_dtm_metric_nan_safe(self, sweep):
+        dtm = sweep.metric("dtm", "vaa", "hayat")
+        assert dtm.shape == (2,)  # NaN allowed where baseline had no events
+
+    def test_unknown_metric_rejected(self, sweep):
+        with pytest.raises(ValueError, match="unknown metric"):
+            sweep.metric("magic", "vaa", "hayat")
+
+    def test_empty_fractions_rejected(self, aging_table):
+        with pytest.raises(ValueError):
+            sweep_dark_fractions([HayatManager()], fractions=[])

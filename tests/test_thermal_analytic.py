@@ -1,0 +1,89 @@
+"""Analytic validation of the thermal network on a 1x1 floorplan.
+
+With a single core the network degenerates to a three-resistor chain
+(junction -> spreader -> sink -> ambient) whose steady state and time
+constants have closed forms; the solver must reproduce them exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.floorplan import CoreGeometry, Floorplan
+from repro.thermal import ThermalConfig, ThermalRCNetwork, TransientIntegrator
+
+
+@pytest.fixture(scope="module")
+def single():
+    floorplan = Floorplan(1, 1, CoreGeometry(1.70, 1.75))
+    config = ThermalConfig()
+    return ThermalRCNetwork(floorplan, config), config, floorplan
+
+
+def chain_resistance(config: ThermalConfig, floorplan: Floorplan) -> float:
+    area = floorplan.core.area_m2
+    r_die = config.die_thickness_m / (config.silicon_conductivity * area)
+    r_tim = config.tim_resistance_km2_per_w / area
+    return (
+        r_die
+        + r_tim
+        + config.spreader_to_sink_r_kw
+        + config.sink_to_ambient_r_kw
+    )
+
+
+class TestSingleCoreChain:
+    def test_steady_state_matches_series_resistance(self, single):
+        net, config, floorplan = single
+        power = 5.0
+        temps = net.steady_state(np.array([power]))
+        expected = config.ambient_k + power * chain_resistance(config, floorplan)
+        assert temps[0] == pytest.approx(expected, rel=1e-12)
+
+    def test_node_temperatures_partition_the_chain(self, single):
+        net, config, floorplan = single
+        power = 4.0
+        nodes = net.steady_state_all_nodes(np.array([power]))
+        # Sink rise = P * R_sink; spreader rise adds R_sp->sink, etc.
+        sink_rise = nodes[2] - config.ambient_k
+        assert sink_rise == pytest.approx(
+            power * config.sink_to_ambient_r_kw, rel=1e-12
+        )
+        spreader_rise = nodes[1] - config.ambient_k
+        assert spreader_rise == pytest.approx(
+            power * (config.sink_to_ambient_r_kw + config.spreader_to_sink_r_kw),
+            rel=1e-12,
+        )
+
+    def test_transient_relaxation_total_energy(self, single):
+        """Cooling from a hot state releases exactly the stored energy:
+        integral of heat flow out equals sum(C_i * rise_i)."""
+        net, config, floorplan = single
+        hot = net.steady_state_all_nodes(np.array([6.0]))
+        rise = hot - config.ambient_k
+        stored = float((net.capacitance * rise).sum())
+
+        dt = 0.05
+        integ = TransientIntegrator(net, dt_s=dt)
+        temps = hot.copy()
+        released = 0.0
+        for _ in range(200000):
+            sink_rise = temps[2] - config.ambient_k
+            released += dt * sink_rise / config.sink_to_ambient_r_kw
+            temps = integ.step(temps, np.zeros(1))
+            if (temps - config.ambient_k).max() < 1e-6:
+                break
+        assert released == pytest.approx(stored, rel=0.02)
+
+    def test_single_pole_dominates_late_decay(self, single):
+        """Late in the relaxation only the slowest eigenmode remains:
+        successive samples decay by a constant ratio."""
+        net, config, _ = single
+        hot = net.steady_state_all_nodes(np.array([6.0]))
+        integ = TransientIntegrator(net, dt_s=1.0)
+        temps = integ.run(hot, np.zeros(1), num_steps=100)
+        r1 = temps[2] - config.ambient_k
+        temps = integ.step(temps, np.zeros(1))
+        r2 = temps[2] - config.ambient_k
+        temps = integ.step(temps, np.zeros(1))
+        r3 = temps[2] - config.ambient_k
+        assert r2 / r1 == pytest.approx(r3 / r2, rel=1e-3)

@@ -1,0 +1,91 @@
+"""Leakage-temperature coupled fixed point."""
+
+import numpy as np
+import pytest
+
+from repro.power import PowerModel
+from repro.thermal import ThermalRCNetwork, solve_coupled_steady_state
+from repro.thermal.coupled import ThermalRunawayError
+
+
+@pytest.fixture(scope="module")
+def setup(chip, floorplan):
+    net = ThermalRCNetwork(floorplan)
+    pm = PowerModel.for_chip(chip)
+    return net, pm
+
+
+def _checkerboard(n_rows=8, n_cols=8):
+    return np.array(
+        [(r + c) % 2 == 0 for r in range(n_rows) for c in range(n_cols)]
+    )
+
+
+class TestCoupledSolve:
+    def test_self_consistency(self, setup):
+        """The returned temperatures reproduce themselves through one
+        more power/thermal evaluation."""
+        net, pm = setup
+        on = _checkerboard()
+        freq = np.full(64, 3.0) * on
+        act = np.full(64, 0.6) * on
+        temps, breakdown = solve_coupled_steady_state(net, pm, freq, act, on)
+        again = net.steady_state(
+            pm.evaluate(freq, act, temps, on).total_w
+        )
+        np.testing.assert_allclose(temps, again, atol=0.05)
+
+    def test_hotter_than_leakage_free(self, setup):
+        """Closing the loop adds heat versus a fixed-leakage estimate."""
+        net, pm = setup
+        on = _checkerboard()
+        freq = np.full(64, 3.0) * on
+        act = np.full(64, 0.6) * on
+        temps, _ = solve_coupled_steady_state(net, pm, freq, act, on)
+        first_pass = net.steady_state(
+            pm.evaluate(freq, act, np.full(64, net.config.ambient_k), on).total_w
+        )
+        assert temps.mean() > first_pass.mean()
+
+    def test_all_dark_is_near_ambient(self, setup):
+        net, pm = setup
+        off = np.zeros(64, dtype=bool)
+        temps, breakdown = solve_coupled_steady_state(
+            net, pm, np.zeros(64), np.zeros(64), off
+        )
+        # 64 gated cores leak ~1.2 W total; the rise is under 1 K.
+        assert temps.max() - net.config.ambient_k < 1.0
+        assert breakdown.chip_total_w == pytest.approx(64 * 0.019, rel=1e-6)
+
+    def test_dense_cluster_hotter_than_spread(self, setup):
+        net, pm = setup
+        contiguous = np.zeros(64, dtype=bool)
+        contiguous[:32] = True
+        spread = _checkerboard()
+        freq = np.full(64, 3.0)
+        act = np.full(64, 0.6)
+        t_dense, _ = solve_coupled_steady_state(
+            net, pm, freq * contiguous, act * contiguous, contiguous
+        )
+        t_spread, _ = solve_coupled_steady_state(
+            net, pm, freq * spread, act * spread, spread
+        )
+        assert t_dense.max() > t_spread.max()
+
+    def test_rejects_bad_damping(self, setup):
+        net, pm = setup
+        on = _checkerboard()
+        with pytest.raises(ValueError):
+            solve_coupled_steady_state(
+                net, pm, np.zeros(64), np.zeros(64), on, damping=0.0
+            )
+
+    def test_runaway_reported_not_silent(self, setup):
+        """With max_iter too small the solver raises instead of
+        returning an unconverged state."""
+        net, pm = setup
+        on = np.ones(64, dtype=bool)
+        freq = np.full(64, 4.0)
+        act = np.ones(64)
+        with pytest.raises(ThermalRunawayError):
+            solve_coupled_steady_state(net, pm, freq, act, on, max_iter=2)

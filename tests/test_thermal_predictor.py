@@ -1,0 +1,92 @@
+"""Online thermal predictor: accuracy and batch consistency."""
+
+import numpy as np
+import pytest
+
+from repro.power import PowerModel
+from repro.thermal import ThermalPredictor, ThermalRCNetwork, solve_coupled_steady_state
+
+
+@pytest.fixture(scope="module")
+def setup(chip, floorplan):
+    net = ThermalRCNetwork(floorplan)
+    pm = PowerModel.for_chip(chip)
+    pred = ThermalPredictor.learn(net, pm)
+    return net, pm, pred
+
+
+def _state(on_pattern, freq=3.0, act=0.6):
+    on = np.asarray(on_pattern, dtype=bool)
+    return np.full(64, freq) * on, np.full(64, act) * on, on
+
+
+class TestPredictor:
+    def test_warm_start_accuracy(self, setup):
+        """Within ~2 K of ground truth when started from a nearby state —
+        the operating regime of Algorithm 1."""
+        net, pm, pred = setup
+        on = np.array([(r + c) % 2 == 0 for r in range(8) for c in range(8)])
+        freq, act, on = _state(on)
+        truth, _ = solve_coupled_steady_state(net, pm, freq, act, on)
+        moved = on.copy()
+        moved[0], moved[1] = False, True
+        freq2, act2, on2 = _state(moved)
+        truth2, _ = solve_coupled_steady_state(net, pm, freq2, act2, on2)
+        estimate = pred.predict(freq2, act2, on2, initial_temps_k=truth)
+        assert np.abs(estimate - truth2).max() < 2.0
+
+    def test_batch_matches_single(self, setup):
+        net, pm, pred = setup
+        rng = np.random.default_rng(0)
+        batch_on = rng.random((5, 64)) < 0.5
+        freq = np.full((5, 64), 3.0) * batch_on
+        act = np.full((5, 64), 0.6) * batch_on
+        warm = np.full(64, 350.0)
+        batched = pred.predict_batch(freq, act, batch_on, initial_temps_k=warm)
+        for row in range(5):
+            single = pred.predict(
+                freq[row], act[row], batch_on[row], initial_temps_k=warm
+            )
+            np.testing.assert_allclose(batched[row], single, rtol=1e-12)
+
+    def test_ranks_hotspots_correctly(self, setup):
+        """Even cold-started, the predictor must order dense vs spread
+        configurations correctly — ranking is what Algorithm 1 needs."""
+        net, pm, pred = setup
+        dense = np.zeros(64, dtype=bool)
+        dense[:32] = True
+        spread = np.array([(r + c) % 2 == 0 for r in range(8) for c in range(8)])
+        t_dense = pred.predict(*_state(dense))
+        t_spread = pred.predict(*_state(spread))
+        assert t_dense.max() > t_spread.max()
+
+    def test_learned_influence_is_exact_network_kernel(self, setup):
+        net, pm, pred = setup
+        np.testing.assert_allclose(pred.influence, net.influence_matrix())
+
+    def test_dark_chip_predicts_near_ambient(self, setup):
+        _, _, pred = setup
+        temps = pred.predict(np.zeros(64), np.zeros(64), np.zeros(64, dtype=bool))
+        assert temps.max() - pred.ambient_k < 1.0
+
+    def test_rejects_mismatched_batch_shapes(self, setup):
+        _, _, pred = setup
+        with pytest.raises(ValueError):
+            pred.predict_batch(
+                np.zeros((2, 64)), np.zeros((3, 64)), np.zeros((2, 64), dtype=bool)
+            )
+
+    def test_rejects_bad_initial_shape(self, setup):
+        _, _, pred = setup
+        with pytest.raises(ValueError):
+            pred.predict_batch(
+                np.zeros((1, 64)),
+                np.zeros((1, 64)),
+                np.zeros((1, 64), dtype=bool),
+                initial_temps_k=np.zeros(3),
+            )
+
+    def test_rejects_nonsquare_influence(self, setup):
+        _, pm, _ = setup
+        with pytest.raises(ValueError):
+            ThermalPredictor(np.zeros((3, 4)), 318.0, pm)

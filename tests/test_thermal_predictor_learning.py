@@ -1,0 +1,85 @@
+"""Learning the thermal predictor from observations only."""
+
+import numpy as np
+import pytest
+
+from repro.power import PowerModel
+from repro.thermal import ThermalPredictor, ThermalRCNetwork
+
+
+@pytest.fixture(scope="module")
+def setup(chip, floorplan):
+    net = ThermalRCNetwork(floorplan)
+    pm = PowerModel.for_chip(chip)
+    return net, pm
+
+
+def generate_samples(net, num_samples, rng, noise_k=0.0):
+    """Random per-core power vectors and their steady-state temperatures."""
+    n = net.num_cores
+    powers = rng.uniform(0.0, 5.0, size=(num_samples, n))
+    temps = np.array([net.steady_state(p) for p in powers])
+    if noise_k > 0:
+        temps = temps + rng.normal(0.0, noise_k, temps.shape)
+    return powers, temps
+
+
+class TestLearning:
+    def test_exact_recovery_with_rich_data(self, setup):
+        net, pm = setup
+        rng = np.random.default_rng(0)
+        powers, temps = generate_samples(net, 200, rng)
+        learned = ThermalPredictor.learn_from_observations(
+            powers, temps, net.config.ambient_k, pm
+        )
+        np.testing.assert_allclose(
+            learned.influence, net.influence_matrix(), atol=1e-3
+        )
+
+    def test_noisy_recovery_still_predictive(self, setup):
+        """With 0.5 K sensor noise the learned kernel predicts unseen
+        configurations within ~2 K."""
+        net, pm = setup
+        rng = np.random.default_rng(1)
+        powers, temps = generate_samples(net, 400, rng, noise_k=0.5)
+        learned = ThermalPredictor.learn_from_observations(
+            powers, temps, net.config.ambient_k, pm, ridge=1e-3
+        )
+        test_power = rng.uniform(0.0, 5.0, net.num_cores)
+        truth = net.steady_state(test_power)
+        predicted = net.config.ambient_k + learned.influence @ test_power
+        assert np.abs(predicted - truth).max() < 2.0
+
+    def test_learned_kernel_is_symmetric(self, setup):
+        net, pm = setup
+        rng = np.random.default_rng(2)
+        powers, temps = generate_samples(net, 100, rng, noise_k=1.0)
+        learned = ThermalPredictor.learn_from_observations(
+            powers, temps, net.config.ambient_k, pm
+        )
+        np.testing.assert_allclose(learned.influence, learned.influence.T)
+
+    def test_underdetermined_fit_degrades_gracefully(self, setup):
+        """With fewer samples than cores the fit is not exact but must
+        remain finite and usable."""
+        net, pm = setup
+        rng = np.random.default_rng(3)
+        powers, temps = generate_samples(net, 16, rng)
+        learned = ThermalPredictor.learn_from_observations(
+            powers, temps, net.config.ambient_k, pm, ridge=1e-2
+        )
+        assert np.isfinite(learned.influence).all()
+
+    def test_rejects_mismatched_samples(self, setup):
+        net, pm = setup
+        with pytest.raises(ValueError):
+            ThermalPredictor.learn_from_observations(
+                np.zeros((5, 64)), np.zeros((4, 64)), 318.0, pm
+            )
+
+    def test_rejects_nonpositive_ridge(self, setup):
+        net, pm = setup
+        with pytest.raises(ValueError):
+            ThermalPredictor.learn_from_observations(
+                np.zeros((5, 64)), np.zeros((5, 64)), 318.0, pm, ridge=0.0
+            )

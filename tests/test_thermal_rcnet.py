@@ -1,0 +1,142 @@
+"""RC network construction and solvers: physics invariants."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan import Floorplan
+from repro.thermal import ThermalConfig, ThermalRCNetwork, TransientIntegrator
+
+
+@pytest.fixture(scope="module")
+def net():
+    return ThermalRCNetwork(Floorplan(4, 4))
+
+
+class TestSteadyState:
+    def test_zero_power_is_ambient(self, net):
+        temps = net.steady_state(np.zeros(16))
+        np.testing.assert_allclose(temps, net.config.ambient_k)
+
+    def test_positive_power_heats_all_cores(self, net):
+        power = np.zeros(16)
+        power[5] = 10.0
+        temps = net.steady_state(power)
+        assert (temps > net.config.ambient_k).all()
+        assert temps.argmax() == 5
+
+    def test_superposition(self, net):
+        """The network is linear: responses add."""
+        p1 = np.zeros(16)
+        p1[0] = 5.0
+        p2 = np.zeros(16)
+        p2[9] = 3.0
+        t_both = net.steady_state(p1 + p2)
+        rise1 = net.steady_state(p1) - net.config.ambient_k
+        rise2 = net.steady_state(p2) - net.config.ambient_k
+        np.testing.assert_allclose(
+            t_both, net.config.ambient_k + rise1 + rise2, rtol=1e-10
+        )
+
+    def test_monotone_in_power(self, net):
+        base = net.steady_state(np.full(16, 2.0))
+        more = net.steady_state(np.full(16, 3.0))
+        assert (more > base).all()
+
+    def test_energy_balance_via_sink(self, net):
+        """All injected power must leave through the sink resistance."""
+        power = np.full(16, 2.0)
+        all_nodes = net.steady_state_all_nodes(power)
+        sink_temp = all_nodes[-1]
+        flow_out = (sink_temp - net.config.ambient_k) / (
+            net.config.sink_to_ambient_r_kw
+        )
+        assert flow_out == pytest.approx(power.sum(), rel=1e-9)
+
+    def test_neighbor_coupling_decays_with_distance(self, net):
+        power = np.zeros(16)
+        power[5] = 10.0
+        rise = net.steady_state(power) - net.config.ambient_k
+        # neighbor of 5 is hotter than the far corner
+        assert rise[6] > rise[15]
+
+    def test_rejects_negative_power(self, net):
+        with pytest.raises(ValueError):
+            net.steady_state(np.full(16, -1.0))
+
+    def test_rejects_wrong_shape(self, net):
+        with pytest.raises(ValueError):
+            net.steady_state(np.zeros(5))
+
+
+class TestInfluenceMatrix:
+    def test_reproduces_steady_state(self, net):
+        rng = np.random.default_rng(0)
+        power = rng.uniform(0, 5, 16)
+        via_matrix = net.config.ambient_k + net.influence_matrix() @ power
+        np.testing.assert_allclose(via_matrix, net.steady_state(power), rtol=1e-10)
+
+    def test_symmetric_and_positive(self, net):
+        K = net.influence_matrix()
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+        assert (K > 0).all()
+
+    def test_self_influence_dominates(self, net):
+        K = net.influence_matrix()
+        assert (np.diag(K) >= K.max(axis=1) - 1e-12).all()
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self, net):
+        power = np.full(16, 2.0)
+        integ = TransientIntegrator(net, dt_s=0.5)
+        temps = integ.run(net.initial_temperatures(), power, num_steps=2000)
+        np.testing.assert_allclose(
+            integ.core_temperatures(temps), net.steady_state(power), atol=0.05
+        )
+
+    def test_monotone_heating_from_cold(self, net):
+        power = np.full(16, 3.0)
+        integ = TransientIntegrator(net, dt_s=0.1)
+        temps = net.initial_temperatures()
+        previous = temps[:16].copy()
+        for _ in range(10):
+            temps = integ.step(temps, power)
+            now = integ.core_temperatures(temps)
+            assert (now >= previous - 1e-9).all()
+            previous = now.copy()
+
+    def test_cooling_after_power_off(self, net):
+        power = np.full(16, 3.0)
+        integ = TransientIntegrator(net, dt_s=0.5)
+        hot = integ.run(net.initial_temperatures(), power, num_steps=400)
+        cooled = integ.run(hot, np.zeros(16), num_steps=400)
+        assert (integ.core_temperatures(cooled) < integ.core_temperatures(hot)).all()
+
+    def test_unconditional_stability_with_large_step(self, net):
+        """Backward Euler must not oscillate or blow up at dt >> tau."""
+        power = np.full(16, 4.0)
+        integ = TransientIntegrator(net, dt_s=100.0)
+        temps = integ.run(net.initial_temperatures(), power, num_steps=50)
+        cores = integ.core_temperatures(temps)
+        assert np.isfinite(cores).all()
+        np.testing.assert_allclose(cores, net.steady_state(power), atol=0.1)
+
+    def test_rejects_negative_steps(self, net):
+        integ = TransientIntegrator(net, dt_s=0.1)
+        with pytest.raises(ValueError):
+            integ.run(net.initial_temperatures(), np.zeros(16), -1)
+
+
+class TestConfig:
+    def test_default_time_constants(self, net):
+        # Junction nodes respond in milliseconds, the sink in tens of
+        # seconds — the separation the epoch scheme relies on.
+        assert net.core_time_constant_s() < 0.1
+        sink_tau = (
+            net.config.sink_heat_capacity_j_per_k * net.config.sink_to_ambient_r_kw
+        )
+        assert sink_tau > 10.0
+
+    def test_rejects_nonpositive_parameter(self):
+        with pytest.raises(ValueError):
+            ThermalConfig(die_thickness_m=0.0)

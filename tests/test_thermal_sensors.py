@@ -1,0 +1,45 @@
+"""Thermal sensor quantization and noise."""
+
+import numpy as np
+import pytest
+
+from repro.thermal import ThermalSensor
+
+
+class TestQuantization:
+    def test_rounds_to_resolution(self):
+        sensor = ThermalSensor(resolution_k=0.5)
+        out = sensor.read(np.array([350.26, 350.24]))
+        np.testing.assert_allclose(out, [350.5, 350.0])
+
+    def test_noise_free_is_deterministic(self):
+        sensor = ThermalSensor()
+        temps = np.linspace(300, 400, 7)
+        np.testing.assert_array_equal(sensor.read(temps), sensor.read(temps))
+
+    def test_quantization_error_bounded(self):
+        sensor = ThermalSensor(resolution_k=1.0)
+        temps = np.random.default_rng(0).uniform(300, 400, 100)
+        assert np.abs(sensor.read(temps) - temps).max() <= 0.5 + 1e-12
+
+
+class TestNoise:
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            ThermalSensor(noise_sigma_k=0.5)
+
+    def test_noisy_reads_vary(self):
+        sensor = ThermalSensor(
+            resolution_k=0.1, noise_sigma_k=1.0, rng=np.random.default_rng(1)
+        )
+        temps = np.full(50, 350.0)
+        reads = sensor.read(temps)
+        assert reads.std() > 0.3
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            ThermalSensor(noise_sigma_k=-1.0)
+
+    def test_rejects_nonpositive_resolution(self):
+        with pytest.raises(ValueError):
+            ThermalSensor(resolution_k=0.0)

@@ -1,0 +1,66 @@
+"""Uncore heat injection (shared L2/NoC budget)."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan import Floorplan
+from repro.power import PowerModel
+from repro.thermal import ThermalConfig, ThermalPredictor, ThermalRCNetwork
+
+
+@pytest.fixture(scope="module")
+def nets():
+    fp = Floorplan(4, 4)
+    plain = ThermalRCNetwork(fp, ThermalConfig())
+    uncore = ThermalRCNetwork(fp, ThermalConfig(uncore_power_w=16.0))
+    return plain, uncore
+
+
+class TestUncoreHeat:
+    def test_raises_operating_point(self, nets):
+        plain, uncore = nets
+        power = np.full(16, 2.0)
+        assert (uncore.steady_state(power) > plain.steady_state(power)).all()
+
+    def test_zero_core_power_still_warm(self, nets):
+        _, uncore = nets
+        temps = uncore.steady_state(np.zeros(16))
+        assert temps.min() > uncore.config.ambient_k + 1.0
+
+    def test_offset_is_uniformish(self, nets):
+        """Uniform spreader injection produces a near-uniform rise."""
+        plain, uncore = nets
+        power = np.full(16, 2.0)
+        delta = uncore.steady_state(power) - plain.steady_state(power)
+        assert delta.max() - delta.min() < 0.2 * delta.mean()
+
+    def test_energy_balance_includes_uncore(self, nets):
+        _, uncore = nets
+        power = np.full(16, 2.0)
+        nodes = uncore.steady_state_all_nodes(power)
+        flow_out = (nodes[-1] - uncore.config.ambient_k) / (
+            uncore.config.sink_to_ambient_r_kw
+        )
+        assert flow_out == pytest.approx(power.sum() + 16.0, rel=1e-9)
+
+    def test_predictor_learns_baseline(self, nets, chip):
+        """The learned predictor must be exact at zero core power even
+        with uncore heat shifting the operating point."""
+        _, uncore = nets
+        pm = PowerModel.for_chip(chip)
+        # Build a matching 4x4 power model slice.
+        from repro.power import DynamicPowerModel, LeakageModel
+
+        pm16 = PowerModel(
+            DynamicPowerModel(), LeakageModel(), chip.leakage_scale[:16]
+        )
+        pred = ThermalPredictor.learn(uncore, pm16)
+        off = np.zeros(16, dtype=bool)
+        predicted = pred.predict(np.zeros(16), np.zeros(16), off)
+        # All-gated chip: tiny gated leakage on top of the baseline.
+        truth = uncore.steady_state(np.full(16, 0.019))
+        assert np.abs(predicted - truth).max() < 0.5
+
+    def test_rejects_negative_uncore(self):
+        with pytest.raises(ValueError):
+            ThermalConfig(uncore_power_w=-1.0)

@@ -1,0 +1,53 @@
+"""Unit conversions and physical constants."""
+
+import numpy as np
+import pytest
+
+from repro.util.constants import (
+    AMBIENT_KELVIN,
+    CELSIUS_OFFSET,
+    SECONDS_PER_YEAR,
+    T_SAFE_KELVIN,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    thermal_voltage,
+)
+
+
+def test_celsius_kelvin_roundtrip_scalar():
+    assert kelvin_to_celsius(celsius_to_kelvin(95.0)) == pytest.approx(95.0)
+
+
+def test_celsius_kelvin_roundtrip_array():
+    temps = np.array([25.0, 75.0, 100.0, 140.0])
+    out = kelvin_to_celsius(celsius_to_kelvin(temps))
+    np.testing.assert_allclose(out, temps)
+
+
+def test_celsius_to_kelvin_known_value():
+    assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+
+def test_array_input_returns_array():
+    out = celsius_to_kelvin(np.array([0.0, 100.0]))
+    assert isinstance(out, np.ndarray)
+    np.testing.assert_allclose(out, [273.15, 373.15])
+
+
+def test_thermal_voltage_room_temperature():
+    # kT/q at 300 K is the textbook ~25.9 mV.
+    assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+
+def test_thermal_voltage_scales_linearly():
+    assert thermal_voltage(600.0) == pytest.approx(2 * thermal_voltage(300.0))
+
+
+def test_paper_thresholds():
+    # Tsafe is 95 C (Intel mobile i5 limit quoted in Section V).
+    assert T_SAFE_KELVIN == pytest.approx(95.0 + CELSIUS_OFFSET)
+    assert AMBIENT_KELVIN < T_SAFE_KELVIN
+
+
+def test_seconds_per_year_magnitude():
+    assert SECONDS_PER_YEAR == pytest.approx(3.156e7, rel=1e-3)

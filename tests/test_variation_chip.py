@@ -1,0 +1,110 @@
+"""Chip construction: Eq. 1 frequencies and leakage scales."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan import Floorplan
+from repro.variation import Chip, VariationParams
+from repro.variation.chip import _grid_point_coordinates
+
+
+@pytest.fixture(scope="module")
+def small_chip():
+    fp = Floorplan(2, 2)
+    params = VariationParams(grid_per_core=2, critical_path_points=3)
+    return Chip.sample(fp, params, np.random.default_rng(0))
+
+
+class TestGridPoints:
+    def test_count_and_containment(self):
+        fp = Floorplan(2, 2)
+        pts = _grid_point_coordinates(fp, 3)
+        assert pts.shape == (4 * 9, 2)
+        assert pts[:, 0].min() > 0 and pts[:, 0].max() < fp.die_width_mm
+        assert pts[:, 1].min() > 0 and pts[:, 1].max() < fp.die_height_mm
+
+    def test_core_slices_inside_tiles(self):
+        fp = Floorplan(2, 2)
+        pts = _grid_point_coordinates(fp, 2)
+        w, h = fp.core.width_mm, fp.core.height_mm
+        for core in range(4):
+            block = pts[core * 4 : (core + 1) * 4]
+            row, col = fp.position(core)
+            assert (block[:, 0] > col * w).all() and (block[:, 0] < (col + 1) * w).all()
+            assert (block[:, 1] > row * h).all() and (block[:, 1] < (row + 1) * h).all()
+
+
+class TestChipConstruction:
+    def test_fmax_positive_and_bounded(self, small_chip):
+        f = small_chip.fmax_init_ghz
+        assert f.shape == (4,)
+        assert (f > 0).all()
+        # theta >= mean - 4 sigma, so fmax is bounded above.
+        params = small_chip.params
+        upper = params.frequency_scale_ghz / (params.mean - 4 * params.sigma)
+        assert (f <= upper + 1e-9).all()
+
+    def test_eq1_min_over_critical_path(self, small_chip):
+        """fmax is set by the slowest (max-theta) critical-path point."""
+        cp = small_chip.theta_per_core[:, small_chip.critical_path_pattern]
+        expected = small_chip.params.frequency_scale_ghz / cp.max(axis=1)
+        np.testing.assert_allclose(small_chip.fmax_init_ghz, expected)
+
+    def test_leakage_scale_bounds_respected(self, small_chip):
+        low, high = small_chip.params.leakage_scale_bounds
+        scale = small_chip.leakage_scale
+        assert (scale >= low).all() and (scale <= high).all()
+
+    def test_fast_cores_leak_more(self):
+        """Across many cores, frequency and leakage correlate positively
+        (both driven by low Vth) — the cherry-picking tension."""
+        fp = Floorplan(8, 8)
+        params = VariationParams()
+        chip = Chip.sample(fp, params, np.random.default_rng(11))
+        corr = np.corrcoef(chip.fmax_init_ghz, chip.leakage_scale)[0, 1]
+        assert corr > 0.3
+
+    def test_rejects_wrong_theta_shape(self):
+        fp = Floorplan(2, 2)
+        params = VariationParams(grid_per_core=2, critical_path_points=3)
+        with pytest.raises(ValueError, match="shape"):
+            Chip(fp, params, np.ones(7), np.array([0, 1, 2]))
+
+    def test_rejects_nonpositive_theta(self):
+        fp = Floorplan(2, 2)
+        params = VariationParams(grid_per_core=2, critical_path_points=3)
+        theta = np.ones(16)
+        theta[3] = -0.5
+        with pytest.raises(ValueError, match="positive"):
+            Chip(fp, params, theta, np.array([0, 1, 2]))
+
+    def test_rejects_bad_pattern(self):
+        fp = Floorplan(2, 2)
+        params = VariationParams(grid_per_core=2, critical_path_points=3)
+        with pytest.raises(ValueError, match="pattern"):
+            Chip(fp, params, np.ones(16), np.array([0, 9]))
+
+    def test_sample_deterministic(self):
+        fp = Floorplan(2, 2)
+        params = VariationParams(grid_per_core=2, critical_path_points=3)
+        a = Chip.sample(fp, params, np.random.default_rng(3))
+        b = Chip.sample(fp, params, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.theta, b.theta)
+        np.testing.assert_array_equal(a.fmax_init_ghz, b.fmax_init_ghz)
+
+
+class TestVariationParams:
+    def test_defaults_valid(self):
+        VariationParams()
+
+    def test_rejects_too_many_cp_points(self):
+        with pytest.raises(ValueError):
+            VariationParams(grid_per_core=2, critical_path_points=5)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            VariationParams(sigma=0.0)
+
+    def test_rejects_bad_leakage_bounds(self):
+        with pytest.raises(ValueError):
+            VariationParams(leakage_scale_bounds=(2.0, 1.0))

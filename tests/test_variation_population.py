@@ -1,0 +1,64 @@
+"""Chip population generation and paper-calibration checks."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan import Floorplan
+from repro.variation import VariationParams, generate_population
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_population(3, seed=1, floorplan=Floorplan(4, 4))
+        b = generate_population(3, seed=1, floorplan=Floorplan(4, 4))
+        np.testing.assert_array_equal(a.fmax_matrix_ghz(), b.fmax_matrix_ghz())
+
+    def test_chip_i_stable_under_population_growth(self):
+        """Requesting more chips never changes the earlier chips."""
+        fp = Floorplan(4, 4)
+        small = generate_population(2, seed=5, floorplan=fp)
+        large = generate_population(5, seed=5, floorplan=fp)
+        np.testing.assert_array_equal(small[1].theta, large[1].theta)
+
+    def test_chips_differ(self):
+        pop = generate_population(2, seed=0, floorplan=Floorplan(4, 4))
+        assert not np.array_equal(pop[0].theta, pop[1].theta)
+
+    def test_shared_design_pattern(self):
+        """All chips of a population share one critical-path pattern."""
+        pop = generate_population(3, seed=0, floorplan=Floorplan(4, 4))
+        for chip in pop:
+            np.testing.assert_array_equal(
+                chip.critical_path_pattern, pop[0].critical_path_pattern
+            )
+
+    def test_rejects_zero_chips(self):
+        with pytest.raises(ValueError):
+            generate_population(0)
+
+    def test_len_and_iteration(self):
+        pop = generate_population(4, seed=2, floorplan=Floorplan(2, 2))
+        assert len(pop) == 4
+        assert len(list(pop)) == 4
+        assert pop[3].chip_id == "chip-03"
+
+
+class TestPaperCalibration:
+    """Section V: ~30-35 % frequency variation at 1.13 V, 3-4 GHz band."""
+
+    @pytest.fixture(scope="class")
+    def pop(self):
+        return generate_population(25, seed=42)
+
+    def test_frequency_spread_in_paper_band(self, pop):
+        spreads = pop.frequency_spreads()
+        assert 0.25 < spreads.mean() < 0.40
+
+    def test_frequency_band(self, pop):
+        f = pop.fmax_matrix_ghz()
+        # Fig. 2(o): per-chip maxima ~3.6 GHz, averages ~3.0 GHz.
+        assert 3.3 < f.max(axis=1).mean() < 4.0
+        assert 2.7 < f.mean() < 3.3
+
+    def test_vdd_matches_paper(self, pop):
+        assert pop.params.vdd == pytest.approx(1.13)

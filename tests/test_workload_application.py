@@ -1,0 +1,61 @@
+"""Applications and thread specs."""
+
+import numpy as np
+import pytest
+
+from repro.workload import Application, profile
+
+
+class TestSpawn:
+    def test_thread_count(self):
+        app = Application.spawn(profile("bodytrack"), 8, np.random.default_rng(0))
+        assert app.num_threads == 8
+
+    def test_malleability_bounds_enforced(self):
+        with pytest.raises(ValueError, match="supports"):
+            Application.spawn(profile("bodytrack"), 1, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="supports"):
+            Application.spawn(profile("bodytrack"), 64, np.random.default_rng(0))
+
+    def test_fmin_jitter_within_band(self):
+        p = profile("x264")
+        app = Application.spawn(p, 16, np.random.default_rng(1))
+        for t in app.threads:
+            assert abs(t.fmin_ghz - p.fmin_ghz) <= p.fmin_jitter_ghz + 1e-9
+
+    def test_threads_have_distinct_traces(self):
+        app = Application.spawn(profile("x264"), 4, np.random.default_rng(2))
+        activities = [t.activity_at(10.0) for t in app.threads]
+        assert len(set(activities)) > 1
+
+    def test_deterministic(self):
+        a = Application.spawn(profile("x264"), 4, np.random.default_rng(3))
+        b = Application.spawn(profile("x264"), 4, np.random.default_rng(3))
+        assert [t.fmin_ghz for t in a.threads] == [t.fmin_ghz for t in b.threads]
+
+    def test_instance_naming(self):
+        app = Application.spawn(profile("dedup"), 4, np.random.default_rng(0), instance=2)
+        assert app.name == "dedup#2"
+        assert app.threads[0].thread_id == "dedup#2/0"
+
+
+class TestThreadSpec:
+    def test_ips_scales_with_frequency(self):
+        app = Application.spawn(profile("swaptions"), 2, np.random.default_rng(0))
+        t = app.threads[0]
+        assert t.ips_at(3.0) == pytest.approx(2 * t.ips_at(1.5))
+
+    def test_ips_value(self):
+        app = Application.spawn(profile("swaptions"), 2, np.random.default_rng(0))
+        t = app.threads[0]
+        assert t.ips_at(2.0) == pytest.approx(t.ipc * 2.0e9)
+
+    def test_ips_rejects_negative_frequency(self):
+        app = Application.spawn(profile("swaptions"), 2, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            app.threads[0].ips_at(-1.0)
+
+    def test_duty_cycle_from_profile(self):
+        p = profile("canneal")
+        app = Application.spawn(p, 4, np.random.default_rng(0))
+        assert all(t.duty_cycle == p.duty_cycle for t in app.threads)

@@ -1,0 +1,77 @@
+"""Workload mixes and thread partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.workload import make_mix, paper_mix, random_mix
+from repro.workload.mix import _partition_threads
+from repro.workload.profiles import profile
+
+
+class TestPartition:
+    def test_exact_total(self):
+        profiles = [profile("bodytrack"), profile("x264")]
+        counts = _partition_threads(profiles, 32)
+        assert sum(counts) == 32
+
+    def test_respects_bounds(self):
+        profiles = [profile("bodytrack"), profile("canneal")]
+        counts = _partition_threads(profiles, 40)
+        for count, p in zip(counts, profiles):
+            assert p.min_threads <= count <= p.max_threads
+
+    def test_too_few_threads_rejected(self):
+        profiles = [profile("ferret")]  # min 4 threads
+        with pytest.raises(ValueError, match="at least"):
+            _partition_threads(profiles, 2)
+
+    def test_too_many_threads_rejected(self):
+        profiles = [profile("canneal")]  # max 24 threads
+        with pytest.raises(ValueError, match="saturates"):
+            _partition_threads(profiles, 30)
+
+
+class TestMakeMix:
+    def test_total_threads(self):
+        mix = make_mix(["bodytrack", "x264"], 32, np.random.default_rng(0))
+        assert mix.num_threads == 32
+        assert len(mix.threads) == 32
+
+    def test_describe(self):
+        mix = make_mix(["bodytrack", "x264"], 10, np.random.default_rng(0))
+        text = mix.describe()
+        assert "bodytrack#0" in text and "x264#1" in text
+
+    def test_paper_mix_contents(self):
+        mix = paper_mix(32, np.random.default_rng(1))
+        names = {app.profile.name for app in mix}
+        assert names == {"bodytrack", "x264"}
+
+    def test_deterministic(self):
+        a = make_mix(["dedup", "ferret"], 16, np.random.default_rng(5))
+        b = make_mix(["dedup", "ferret"], 16, np.random.default_rng(5))
+        assert [t.fmin_ghz for t in a.threads] == [t.fmin_ghz for t in b.threads]
+
+
+class TestRandomMix:
+    def test_sizes_correctly(self):
+        mix = random_mix(32, np.random.default_rng(3))
+        assert mix.num_threads == 32
+
+    def test_app_count(self):
+        mix = random_mix(24, np.random.default_rng(4), num_applications=4)
+        assert len(mix.applications) == 4
+
+    def test_distinct_benchmarks(self):
+        mix = random_mix(24, np.random.default_rng(5), num_applications=4)
+        names = [app.profile.name for app in mix]
+        assert len(set(names)) == 4
+
+    def test_rejects_bad_app_count(self):
+        with pytest.raises(ValueError):
+            random_mix(24, np.random.default_rng(0), num_applications=0)
+
+    def test_deterministic(self):
+        a = random_mix(24, np.random.default_rng(6))
+        b = random_mix(24, np.random.default_rng(6))
+        assert a.describe() == b.describe()

@@ -1,0 +1,72 @@
+"""Workload profile definitions."""
+
+import pytest
+
+from repro.workload import PARSEC_PROFILES, WorkloadProfile, profile
+
+
+class TestProfiles:
+    def test_paper_benchmarks_present(self):
+        # Fig. 2's mix names bodytrack and x264 explicitly.
+        assert "bodytrack" in PARSEC_PROFILES
+        assert "x264" in PARSEC_PROFILES
+
+    def test_profile_lookup(self):
+        assert profile("x264").name == "x264"
+
+    def test_unknown_profile_lists_known(self):
+        with pytest.raises(KeyError, match="bodytrack"):
+            profile("doom")
+
+    def test_all_profiles_internally_consistent(self):
+        for p in PARSEC_PROFILES.values():
+            assert 0.0 <= p.mean_activity - p.activity_jitter
+            assert p.mean_activity + p.activity_jitter <= 1.0
+            assert p.min_threads <= p.max_threads
+            assert p.fmin_ghz > 0
+
+    def test_profiles_are_diverse(self):
+        """The mix space must span distinct demand levels."""
+        fmins = [p.fmin_ghz for p in PARSEC_PROFILES.values()]
+        activities = [p.mean_activity for p in PARSEC_PROFILES.values()]
+        assert max(fmins) - min(fmins) > 0.8
+        assert max(activities) - min(activities) > 0.25
+
+    def test_fmin_below_typical_chip_frequencies(self):
+        """Requirements must be satisfiable by the variation model's
+        frequency band (2.4-3.7 GHz), else no mapping exists."""
+        for p in PARSEC_PROFILES.values():
+            assert p.fmin_ghz + p.fmin_jitter_ghz < 3.2
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        kwargs = dict(
+            name="t",
+            mean_activity=0.5,
+            activity_jitter=0.1,
+            phase_length_s=1.0,
+            duty_cycle=0.5,
+            fmin_ghz=2.0,
+            fmin_jitter_ghz=0.1,
+            min_threads=1,
+            max_threads=4,
+            ipc=1.0,
+        )
+        kwargs.update(overrides)
+        return WorkloadProfile(**kwargs)
+
+    def test_valid_profile(self):
+        self._base()
+
+    def test_rejects_activity_band_overflow(self):
+        with pytest.raises(ValueError):
+            self._base(mean_activity=0.95, activity_jitter=0.1)
+
+    def test_rejects_inverted_thread_bounds(self):
+        with pytest.raises(ValueError):
+            self._base(min_threads=5, max_threads=4)
+
+    def test_rejects_negative_fmin_jitter(self):
+        with pytest.raises(ValueError):
+            self._base(fmin_jitter_ghz=-0.1)

@@ -1,0 +1,76 @@
+"""Mid-epoch arrival schedules."""
+
+import numpy as np
+import pytest
+
+from repro.workload import ArrivalEvent, ArrivalSchedule, poisson_arrivals
+from repro.workload.application import Application
+from repro.workload.profiles import profile
+
+
+def make_event(time_s, threads=2, seed=0):
+    app = Application.spawn(
+        profile("blackscholes"), threads, np.random.default_rng(seed)
+    )
+    return ArrivalEvent(time_s=time_s, application=app)
+
+
+class TestSchedule:
+    def test_events_sorted_by_time(self):
+        schedule = ArrivalSchedule([make_event(5.0), make_event(1.0)])
+        assert [e.time_s for e in schedule] == [1.0, 5.0]
+
+    def test_due_half_open_interval(self):
+        schedule = ArrivalSchedule([make_event(1.0), make_event(2.0), make_event(3.0)])
+        due = schedule.due(1.0, 3.0)
+        assert [e.time_s for e in due] == [1.0, 2.0]
+
+    def test_total_threads(self):
+        schedule = ArrivalSchedule([make_event(1.0, threads=2), make_event(2.0, threads=3)])
+        assert schedule.total_threads == 5
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            make_event(-1.0)
+
+
+class TestPoissonArrivals:
+    def test_deterministic(self):
+        a = poisson_arrivals(100.0, 10.0, np.random.default_rng(3))
+        b = poisson_arrivals(100.0, 10.0, np.random.default_rng(3))
+        assert [e.time_s for e in a] == [e.time_s for e in b]
+
+    def test_all_within_window(self):
+        schedule = poisson_arrivals(50.0, 5.0, np.random.default_rng(1))
+        assert all(0 <= e.time_s < 50.0 for e in schedule)
+
+    def test_rate_statistics(self):
+        counts = [
+            len(poisson_arrivals(1000.0, 10.0, np.random.default_rng(s)))
+            for s in range(20)
+        ]
+        assert 80 < np.mean(counts) < 120  # ~100 expected
+
+    def test_thread_counts_within_bounds(self):
+        schedule = poisson_arrivals(
+            200.0, 10.0, np.random.default_rng(2), threads_per_app=(1, 3)
+        )
+        for event in schedule:
+            prof = event.application.profile
+            assert (
+                prof.min_threads
+                <= event.application.num_threads
+                <= prof.max_threads
+            )
+
+    def test_restricted_profile_pool(self):
+        schedule = poisson_arrivals(
+            200.0, 10.0, np.random.default_rng(4), profile_names=["swaptions"]
+        )
+        assert all(e.application.profile.name == "swaptions" for e in schedule)
+
+    def test_rejects_bad_thread_range(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(
+                10.0, 1.0, np.random.default_rng(0), threads_per_app=(3, 2)
+            )
