@@ -26,7 +26,7 @@ from repro.analysis.prognosis import (
     prognose_lifetime,
 )
 from repro.analysis.render import render_core_map, render_dcm
-from repro.analysis.report import campaign_report
+from repro.analysis.report import campaign_report, metrics_report
 from repro.analysis.stats import distribution_summary, normalized_box_stats
 from repro.analysis.tables import format_table
 
@@ -42,6 +42,7 @@ __all__ = [
     "guardband_loss_fraction",
     "lifetime_at_requirement",
     "lifetime_gain_years",
+    "metrics_report",
     "mttf_doubling_delta_k",
     "normalized_box_stats",
     "prognose_lifetime",

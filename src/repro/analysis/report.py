@@ -89,6 +89,54 @@ def _lifetime_section(campaign, baseline: str, policy: str) -> str:
     )
 
 
+def metrics_report(snapshot) -> str:
+    """Human-readable summary of a :class:`repro.obs.MetricsSnapshot`.
+
+    Two tables: counters (sorted by name) and timers (count, total,
+    mean, max).  This is the ``--metrics`` CLI surface — the quick
+    answer to "where did the wall time go and how many solves/DTM
+    interventions did that campaign actually perform".
+    """
+    counter_rows = [
+        [name, f"{snapshot.counters[name]:g}"]
+        for name in sorted(snapshot.counters)
+    ]
+    if not counter_rows:
+        counter_rows.append(["(none)", "-"])
+    timer_rows = []
+    for name in sorted(snapshot.timers):
+        stats = snapshot.timers[name]
+        timer_rows.append(
+            [
+                name,
+                str(stats.count),
+                f"{stats.total_s:.3f}",
+                f"{1e3 * stats.mean_s:.2f}",
+                f"{1e3 * stats.max_s:.2f}",
+            ]
+        )
+    if not timer_rows:
+        timer_rows.append(["(none)", "-", "-", "-", "-"])
+    sections = [
+        format_table(["counter", "value"], counter_rows, title="Counters"),
+        format_table(
+            ["timer", "count", "total (s)", "mean (ms)", "max (ms)"],
+            timer_rows,
+            title="Timers",
+        ),
+    ]
+    if snapshot.events:
+        sections.append(
+            f"trace events buffered: {len(snapshot.events)}"
+            + (
+                f" (+{snapshot.dropped_events} dropped)"
+                if snapshot.dropped_events
+                else ""
+            )
+        )
+    return "\n\n".join(sections)
+
+
 def campaign_report(
     campaign,
     baseline: str = "vaa",

@@ -18,7 +18,7 @@ import sys
 import numpy as np
 
 from repro.aging.tables import default_aging_table
-from repro.analysis import format_table, render_core_map
+from repro.analysis import format_table, metrics_report, render_core_map
 from repro.baselines import (
     ContiguousManager,
     CoolestFirstManager,
@@ -26,8 +26,9 @@ from repro.baselines import (
     VAAManager,
 )
 from repro.core import HayatManager
+from repro.obs import disable_metrics, enable_metrics
 from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig, run_campaign
-from repro.sim.export import save_results_json, save_summary_csv
+from repro.sim.export import save_results_json, save_summary_csv, save_trace_jsonl
 from repro.util.constants import AMBIENT_KELVIN
 from repro.variation import generate_population
 
@@ -38,6 +39,40 @@ POLICIES = {
     "coolest": CoolestFirstManager,
     "random": RandomManager,
 }
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect engine telemetry and print a counters/timers summary",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL trace (spans, counters, timers) to PATH",
+    )
+
+
+def _start_observability(args):
+    """Enable the global registry when ``--metrics``/``--trace`` ask for it."""
+    if getattr(args, "metrics", False) or getattr(args, "trace", None):
+        return enable_metrics(trace=bool(args.trace))
+    return None
+
+
+def _finish_observability(args, registry) -> None:
+    """Export/print the collected telemetry and restore the null registry."""
+    if registry is None:
+        return
+    snapshot = registry.snapshot()
+    disable_metrics()
+    if args.trace:
+        lines = save_trace_jsonl(snapshot, args.trace)
+        print(f"wrote {args.trace} ({lines} trace lines)")
+    if args.metrics:
+        print()
+        print(metrics_report(snapshot))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--dark", type=float, default=0.5, help="minimum dark fraction")
     simulate.add_argument("--json", help="export the full result to this JSON file")
     simulate.add_argument("--csv", help="export the per-epoch summary to this CSV file")
+    _add_observability_flags(simulate)
 
     campaign = sub.add_parser("campaign", help="VAA vs Hayat over a population")
     campaign.add_argument("--chips", type=int, default=5)
@@ -72,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--workers", type=int, default=1, help="parallel worker processes"
     )
+    _add_observability_flags(campaign)
 
     scenario = sub.add_parser(
         "run-scenario", help="run a JSON scenario document"
@@ -90,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--chips", type=int, default=3)
     sweep.add_argument("--seed", type=int, default=42)
     sweep.add_argument("--years", type=float, default=10.0)
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="parallel worker processes"
+    )
+    _add_observability_flags(sweep)
     return parser
 
 
@@ -130,6 +171,7 @@ def _cmd_simulate(args) -> int:
     )
     policy = POLICIES[args.policy]()
     print(f"Simulating {chip.chip_id} under {policy.name} for {args.years} years...")
+    registry = _start_observability(args)
     ctx = ChipContext(chip, table, dark_fraction_min=args.dark)
     result = LifetimeSimulator(config).run(ctx, policy)
 
@@ -156,6 +198,7 @@ def _cmd_simulate(args) -> int:
     if args.csv:
         save_summary_csv([result], args.csv)
         print(f"wrote {args.csv}")
+    _finish_observability(args, registry)
     return 0
 
 
@@ -168,16 +211,13 @@ def _cmd_campaign(args) -> int:
         f"Campaign: {args.chips} chips x {args.years} years x "
         f"{{vaa, hayat}} at >= {100 * args.dark:.0f} % dark..."
     )
+    registry = _start_observability(args)
     campaign = run_campaign(
         [VAAManager(), HayatManager()],
         num_chips=args.chips,
         config=config,
         population_seed=args.seed,
-        progress=(
-            (lambda policy, chip: print(f"  {policy} / {chip}"))
-            if args.workers == 1
-            else None
-        ),
+        progress=lambda policy, chip: print(f"  {policy} / {chip}"),
         workers=args.workers,
     )
     dtm = campaign.normalized_dtm_events("vaa", "hayat")
@@ -208,6 +248,7 @@ def _cmd_campaign(args) -> int:
         with open(args.report, "w") as handle:
             handle.write(campaign_report(campaign))
         print(f"wrote {args.report}")
+    _finish_observability(args, registry)
     return 0
 
 
@@ -250,12 +291,14 @@ def _cmd_sweep(args) -> int:
     print(
         f"Sweeping dark floors {args.fractions} over {args.chips} chips..."
     )
+    registry = _start_observability(args)
     sweep = sweep_dark_fractions(
         [VAAManager(), HayatManager()],
         fractions=args.fractions,
         num_chips=args.chips,
         config=config,
         population_seed=args.seed,
+        workers=args.workers,
     )
     dtm = sweep.metric("dtm", "vaa", "hayat")
     temp = sweep.metric("temp", "vaa", "hayat")
@@ -278,6 +321,7 @@ def _cmd_sweep(args) -> int:
             title="Dark-silicon sweep (below 1.0 = Hayat better)",
         )
     )
+    _finish_observability(args, registry)
     return 0
 
 

@@ -1,0 +1,50 @@
+"""Observability: counters, gauges, timers, and structured trace events.
+
+A zero-dependency instrumentation core for the lifetime engine.  The
+process-global default registry is a no-op :class:`NullRegistry`, so the
+hot paths (transient steps, steady-state solves) pay only an attribute
+lookup and an empty method call when nothing is listening.  Enabling a
+:class:`MetricsRegistry` (``enable_metrics()`` or the CLI's
+``--metrics``/``--trace`` flags) turns the same call sites into real
+counters, wall-clock spans, and JSONL-exportable trace events.
+
+Snapshots are plain-dict dataclasses, picklable by construction, so
+spawn-based campaign workers can ship their metrics home and the parent
+can merge them into an aggregate identical to a serial run's.
+"""
+
+from repro.obs.core import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    TimerStats,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    TraceSchemaError,
+    load_trace_jsonl,
+    validate_trace_file,
+    validate_trace_line,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "TimerStats",
+    "TraceSchemaError",
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+    "load_trace_jsonl",
+    "set_registry",
+    "use_registry",
+    "validate_trace_file",
+    "validate_trace_line",
+    "write_trace_jsonl",
+]

@@ -9,11 +9,13 @@ baseline (Figs. 7-10).
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.aging.tables import AgingTable, default_aging_table
+from repro.obs import MetricsRegistry, get_registry, use_registry
 from repro.sim.config import SimulationConfig
 from repro.sim.context import ChipContext
 from repro.sim.results import LifetimeResult
@@ -95,10 +97,34 @@ class CampaignResult:
 
 def _run_one(job):
     """Worker entry: one (policy, chip) lifetime.  Module-level so it
-    pickles for multiprocessing."""
-    policy, chip, table, config = job
-    ctx = ChipContext(chip, table, dark_fraction_min=config.dark_fraction_min)
-    return LifetimeSimulator(config).run(ctx, policy)
+    pickles for multiprocessing.
+
+    Returns ``(LifetimeResult, MetricsSnapshot | None)``.  In the serial
+    path metrics flow straight into the caller's registry and the
+    snapshot is ``None``; in a spawn worker the process-global registry
+    is the no-op default, so when the parent asked for metrics a fresh
+    per-job registry collects them and its picklable snapshot rides home
+    with the result for the parent to merge — making parallel campaign
+    aggregation identical to serial.
+    """
+    policy, chip, table, config, dtm, mix_factory, collect, tracing = job
+    registry = get_registry()
+    fresh = collect and not registry.enabled
+    if fresh:
+        registry = MetricsRegistry(trace=tracing)
+    with use_registry(registry):
+        with registry.timer(
+            "campaign.run", policy=policy.name, chip=chip.chip_id
+        ):
+            ctx = ChipContext(
+                chip, table, dark_fraction_min=config.dark_fraction_min
+            )
+            simulator = LifetimeSimulator(
+                config, dtm=dtm, mix_factory=mix_factory
+            )
+            result = simulator.run(ctx, policy)
+    registry.inc("campaign.runs")
+    return result, (registry.snapshot() if fresh else None)
 
 
 def run_campaign(
@@ -110,6 +136,8 @@ def run_campaign(
     population_seed: int = 42,
     progress=None,
     workers: int = 1,
+    dtm=None,
+    mix_factory=None,
 ) -> CampaignResult:
     """Run every policy over the same chip population.
 
@@ -125,12 +153,24 @@ def run_campaign(
     population, table:
         Pre-built silicon and aging table, for reuse across campaigns.
     progress:
-        Optional callable ``(policy_name, chip_id)`` invoked per run
-        (serial mode only; parallel workers cannot call back).
+        Optional callable ``(policy_name, chip_id)`` invoked per run —
+        before each run in serial mode, on each completion in parallel
+        mode (results stream back in submission order).
     workers:
         Process count.  Every (policy, chip) lifetime is independent,
         so results are bit-identical to the serial run; use this for
         paper-scale campaigns.
+    dtm, mix_factory:
+        Forwarded to every :class:`LifetimeSimulator` (``None`` = the
+        simulator's defaults).  With ``workers > 1`` both must pickle
+        for the spawn workers; an unpicklable knob raises ``ValueError``
+        up front instead of silently substituting the default.
+
+    Metrics: when the global :mod:`repro.obs` registry is enabled, every
+    run records a ``campaign.run`` span plus the simulator/thermal
+    counters.  Parallel workers collect into per-job registries whose
+    snapshots are merged back here, so the aggregate is identical to a
+    serial run's.
     """
     config = config if config is not None else SimulationConfig()
     if population is None:
@@ -142,23 +182,43 @@ def run_campaign(
 
     policies = list(policies)
     campaign = CampaignResult(config=config)
-    if workers == 1:
-        for policy in policies:
-            runs: list[LifetimeResult] = []
-            for chip in population:
-                if progress is not None:
-                    progress(policy.name, chip.chip_id)
-                runs.append(_run_one((policy, chip, table, config)))
-            campaign.results[policy.name] = runs
-        return campaign
-
+    registry = get_registry()
+    collect = registry.enabled
     jobs = [
-        (policy, chip, table, config)
+        (policy, chip, table, config, dtm, mix_factory, collect,
+         registry.tracing)
         for policy in policies
         for chip in population
     ]
-    with multiprocessing.get_context("spawn").Pool(workers) as pool:
-        flat = pool.map(_run_one, jobs)
+    if workers == 1:
+        flat: list[LifetimeResult] = []
+        for job in jobs:
+            if progress is not None:
+                progress(job[0].name, job[1].chip_id)
+            result, _ = _run_one(job)
+            flat.append(result)
+    else:
+        for name, knob in (("dtm", dtm), ("mix_factory", mix_factory)):
+            if knob is None:
+                continue
+            try:
+                pickle.dumps(knob)
+            except Exception as error:
+                raise ValueError(
+                    f"{name} must be picklable for parallel run_campaign "
+                    f"(workers={workers}); got {knob!r} ({error}). "
+                    "Use a module-level callable, or workers=1."
+                ) from error
+        flat = []
+        with multiprocessing.get_context("spawn").Pool(workers) as pool:
+            for job, (result, snapshot) in zip(
+                jobs, pool.imap(_run_one, jobs)
+            ):
+                if snapshot is not None:
+                    registry.merge_snapshot(snapshot)
+                if progress is not None:
+                    progress(job[0].name, job[1].chip_id)
+                flat.append(result)
     per_policy = len(population.chips)
     for index, policy in enumerate(policies):
         campaign.results[policy.name] = flat[

@@ -13,6 +13,7 @@ import numpy as np
 from repro.dtm.policy import DTMPolicy
 from repro.mapping.state import ChipState
 from repro.noc.metrics import evaluate_mapping
+from repro.obs import get_registry
 from repro.sim.config import SimulationConfig
 from repro.sim.context import ChipContext
 from repro.sim.results import EpochRecord, LifetimeResult
@@ -99,8 +100,37 @@ class LifetimeSimulator:
         arrivals=None,
     ) -> EpochRecord:
         cfg = self.config
+        obs = get_registry()
+        with obs.timer(
+            "sim.epoch",
+            epoch=epoch_index,
+            chip=ctx.chip.chip_id,
+            policy=policy.name,
+        ):
+            record = self._simulate_epoch(
+                ctx, policy, mix, epoch_index, arrivals, obs
+            )
+        obs.inc("sim.epochs")
+        obs.inc("sim.dtm_migrations", record.dtm_migrations)
+        obs.inc("sim.dtm_throttles", record.dtm_throttles)
+        obs.inc("sim.arrivals", record.arrivals)
+        obs.inc("sim.qos_violations", record.qos_violations)
+        obs.inc("sim.tsafe_violation_steps", record.tsafe_violation_steps)
+        return record
+
+    def _simulate_epoch(
+        self,
+        ctx: ChipContext,
+        policy,
+        mix: WorkloadMix,
+        epoch_index: int,
+        arrivals,
+        obs,
+    ) -> EpochRecord:
+        cfg = self.config
         start_years = ctx.elapsed_years
-        state: ChipState = policy.prepare_epoch(ctx, mix, cfg.epoch_years)
+        with obs.timer("sim.decision"):
+            state: ChipState = policy.prepare_epoch(ctx, mix, cfg.epoch_years)
         state.validate()
         dcm_on = state.powered_on
 
@@ -123,32 +153,34 @@ class LifetimeSimulator:
         reaction_ceiling = self.dtm.tsafe_k + self.dtm.headroom_k
         worst_settle = np.full(n, ctx.network.config.ambient_k)
         settle_duty = np.zeros(n)
-        for _ in range(self._max_settle_rounds):
-            mean_activity = self._mean_activity_vector(state)
-            temps, _ = solve_coupled_steady_state(
-                ctx.network,
-                ctx.power_model,
-                state.freq_ghz,
-                mean_activity,
-                state.powered_on,
-            )
-            worst_settle = np.maximum(
-                worst_settle, np.minimum(temps, reaction_ceiling)
-            )
-            report = self.dtm.enforce(state, ctx.read_temps(temps), fmax_now)
-            migrations += report.migrations
-            throttles += report.throttles
-            # Application arrivals recur all epoch long, so a placement
-            # DTM had to undo is re-attempted repeatedly: the vacated
-            # source core keeps hosting threads a fraction of the time
-            # and ages accordingly (Section II's migration penalty).
-            for source, target in report.migrated_pairs:
-                thread = state.threads[state.assignment[target]]
-                settle_duty[source] += (
-                    cfg.settle_duty_fraction * thread.duty_cycle
+        with obs.timer("sim.settle"):
+            for settle_round in range(self._max_settle_rounds):
+                mean_activity = self._mean_activity_vector(state)
+                temps, _ = solve_coupled_steady_state(
+                    ctx.network,
+                    ctx.power_model,
+                    state.freq_ghz,
+                    mean_activity,
+                    state.powered_on,
                 )
-            if report.events == 0:
-                break
+                worst_settle = np.maximum(
+                    worst_settle, np.minimum(temps, reaction_ceiling)
+                )
+                report = self.dtm.enforce(state, ctx.read_temps(temps), fmax_now)
+                migrations += report.migrations
+                throttles += report.throttles
+                # Application arrivals recur all epoch long, so a placement
+                # DTM had to undo is re-attempted repeatedly: the vacated
+                # source core keeps hosting threads a fraction of the time
+                # and ages accordingly (Section II's migration penalty).
+                for source, target in report.migrated_pairs:
+                    thread = state.threads[state.assignment[target]]
+                    settle_duty[source] += (
+                        cfg.settle_duty_fraction * thread.duty_cycle
+                    )
+                if report.events == 0:
+                    break
+            obs.inc("sim.settle_rounds", settle_round + 1)
 
         all_nodes = ctx.network.initial_temperatures()
         all_nodes[:n] = temps
@@ -156,7 +188,11 @@ class LifetimeSimulator:
         all_nodes[-1] = temps.mean() - 5.0
 
         integrator = TransientIntegrator(ctx.network, cfg.control_dt_s)
-        worst = np.maximum(worst_settle, temps)
+        # The final settle solve obeys the same reaction ceiling as every
+        # earlier round: a steady state DTM would intercept must not leak
+        # into the aging input unclamped (the window's own transient
+        # excursions below are real and stay unclamped).
+        worst = np.maximum(worst_settle, np.minimum(temps, reaction_ceiling))
         duty_accum = np.zeros(n)
         temp_sum = 0.0
         peak = float(temps.max())
@@ -167,47 +203,51 @@ class LifetimeSimulator:
         departed_threads: set[int] = set()
         pending_departures: list[tuple[float, list[int]]] = []
         steps = cfg.steps_per_window
-        for step in range(steps):
-            t = step * cfg.control_dt_s
-            if arrivals is not None:
-                for departure_s, indices in list(pending_departures):
-                    if departure_s <= t:
-                        self._depart(state, indices, departed_threads)
-                        pending_departures.remove((departure_s, indices))
-                for event in arrivals.due(t, t + cfg.control_dt_s):
-                    indices = [
-                        state.add_thread(th) for th in event.application.threads
-                    ]
-                    arrived_threads += len(indices)
-                    self._place_arrival(
-                        ctx,
-                        policy,
-                        state,
-                        indices,
-                        fmax_now,
-                        integrator.core_temperatures(all_nodes),
-                    )
-                    if np.isfinite(event.departure_s):
-                        pending_departures.append((event.departure_s, indices))
-            activity = state.activity_vector(t)
-            core_temps = integrator.core_temperatures(all_nodes)
-            breakdown = ctx.power_model.evaluate(
-                state.freq_ghz, activity, core_temps, state.powered_on
-            )
-            all_nodes = integrator.step(all_nodes, breakdown.total_w)
-            core_temps = integrator.core_temperatures(all_nodes)
+        with obs.timer("sim.window"):
+            for step in range(steps):
+                t = step * cfg.control_dt_s
+                if arrivals is not None:
+                    for departure_s, indices in list(pending_departures):
+                        if departure_s <= t:
+                            self._depart(state, indices, departed_threads)
+                            pending_departures.remove((departure_s, indices))
+                    for event in arrivals.due(t, t + cfg.control_dt_s):
+                        indices = [
+                            state.add_thread(th)
+                            for th in event.application.threads
+                        ]
+                        arrived_threads += len(indices)
+                        self._place_arrival(
+                            ctx,
+                            policy,
+                            state,
+                            indices,
+                            fmax_now,
+                            integrator.core_temperatures(all_nodes),
+                        )
+                        if np.isfinite(event.departure_s):
+                            pending_departures.append(
+                                (event.departure_s, indices)
+                            )
+                activity = state.activity_vector(t)
+                core_temps = integrator.core_temperatures(all_nodes)
+                breakdown = ctx.power_model.evaluate(
+                    state.freq_ghz, activity, core_temps, state.powered_on
+                )
+                all_nodes = integrator.step(all_nodes, breakdown.total_w)
+                core_temps = integrator.core_temperatures(all_nodes)
 
-            readings = ctx.read_temps(core_temps)
-            report = self.dtm.enforce(state, readings, fmax_now)
-            migrations += report.migrations
-            throttles += report.throttles
+                readings = ctx.read_temps(core_temps)
+                report = self.dtm.enforce(state, readings, fmax_now)
+                migrations += report.migrations
+                throttles += report.throttles
 
-            worst = np.maximum(worst, core_temps)
-            temp_sum += float(core_temps.mean())
-            peak = max(peak, float(core_temps.max()))
-            tsafe_violations += int((core_temps > self.dtm.tsafe_k).sum())
-            duty_accum += state.duty_vector() * cfg.control_dt_s
-            ips_sum += self._total_ips(state)
+                worst = np.maximum(worst, core_temps)
+                temp_sum += float(core_temps.mean())
+                peak = max(peak, float(core_temps.max()))
+                tsafe_violations += int((core_temps > self.dtm.tsafe_k).sum())
+                duty_accum += state.duty_vector() * cfg.control_dt_s
+                ips_sum += self._total_ips(state)
 
         duties = np.clip(
             (duty_accum / cfg.window_s + settle_duty) * cfg.duty_scale, 0.0, 1.0

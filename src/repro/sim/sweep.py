@@ -62,11 +62,14 @@ def sweep_dark_fractions(
     table: AgingTable | None = None,
     population_seed: int = 42,
     progress=None,
+    workers: int = 1,
 ) -> SweepResult:
     """Run one campaign per dark floor over shared silicon.
 
     ``policies`` is re-used across floors (policy objects must be
-    stateless between runs, which all built-ins are).
+    stateless between runs, which all built-ins are).  ``workers`` is
+    forwarded to every :func:`run_campaign`, so each floor's campaign
+    uses the process pool.
     """
     fractions = [float(f) for f in fractions]
     if not fractions:
@@ -86,5 +89,6 @@ def sweep_dark_fractions(
             population=population,
             table=table,
             progress=progress,
+            workers=workers,
         )
     return result

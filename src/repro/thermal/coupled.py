@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.power.model import PowerBreakdown, PowerModel
 from repro.thermal.rcnet import ThermalRCNetwork
 
@@ -40,9 +41,11 @@ def solve_coupled_steady_state(
     """
     if not 0.0 < damping <= 1.0:
         raise ValueError("damping must lie in (0, 1]")
+    obs = get_registry()
+    obs.inc("thermal.coupled_solves")
     temps = np.full(network.num_cores, network.config.ambient_k)
     delta = np.inf
-    for _ in range(max_iter):
+    for iteration in range(max_iter):
         breakdown = power_model.evaluate(freq_ghz, activity, temps, powered_on)
         target = network.steady_state(breakdown.total_w)
         if not np.isfinite(target).all():
@@ -53,6 +56,7 @@ def solve_coupled_steady_state(
         delta = float(np.abs(new_temps - temps).max())
         temps = new_temps
         if delta < tol_k:
+            obs.inc("thermal.coupled_iterations", iteration + 1)
             return temps, power_model.evaluate(freq_ghz, activity, temps, powered_on)
     raise ThermalRunawayError(
         f"no convergence within {max_iter} iterations (last delta {delta:.3f} K)"

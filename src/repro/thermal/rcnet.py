@@ -19,6 +19,7 @@ import numpy as np
 from scipy import linalg
 
 from repro.floorplan import Floorplan
+from repro.obs import get_registry
 from repro.thermal.config import ThermalConfig
 from repro.util.validation import check_positive
 
@@ -97,6 +98,7 @@ class ThermalRCNetwork:
         # Cholesky of the SPD system matrix: reused by every steady-state
         # solve and by the influence-matrix computation.
         self._system_cho = linalg.cho_factor(self._system)
+        get_registry().inc("thermal.factorizations")
 
         capacitance = np.empty(self.num_nodes)
         capacitance[:n] = cfg.silicon_volumetric_heat * area_m2 * cfg.die_thickness_m
@@ -130,11 +132,13 @@ class ThermalRCNetwork:
 
     def steady_state(self, core_power_w: np.ndarray) -> np.ndarray:
         """Steady-state core junction temperatures (K) for fixed powers."""
+        get_registry().inc("thermal.steady_solves")
         rise = linalg.cho_solve(self._system_cho, self._node_power(core_power_w))
         return self.config.ambient_k + rise[: self.num_cores]
 
     def steady_state_all_nodes(self, core_power_w: np.ndarray) -> np.ndarray:
         """Steady-state temperatures of every node (cores, spreader, sink)."""
+        get_registry().inc("thermal.steady_solves")
         rise = linalg.cho_solve(self._system_cho, self._node_power(core_power_w))
         return self.config.ambient_k + rise
 
@@ -176,12 +180,14 @@ class TransientIntegrator:
         self._c_over_dt = c_over_dt
         self._step_cho = linalg.cho_factor(network._system + np.diag(c_over_dt))
         self._ambient = network.config.ambient_k
+        get_registry().inc("thermal.factorizations")
 
     def step(self, temps_all_nodes: np.ndarray, core_power_w: np.ndarray) -> np.ndarray:
         """Advance one ``dt`` and return the new all-nodes temperatures."""
         temps_all_nodes = np.asarray(temps_all_nodes, dtype=float)
         if temps_all_nodes.shape != (self.network.num_nodes,):
             raise ValueError("temps_all_nodes has wrong shape")
+        get_registry().inc("thermal.transient_steps")
         p = self.network._node_power(core_power_w)
         rise = temps_all_nodes - self._ambient
         rhs = p + self._c_over_dt * rise

@@ -5,6 +5,8 @@ import pytest
 
 from repro.baselines import VAAManager
 from repro.core import HayatManager
+from repro.dtm import DTMPolicy
+from repro.obs import MetricsRegistry, use_registry
 from repro.sim import SimulationConfig, run_campaign
 from repro.variation import generate_population
 
@@ -45,3 +47,70 @@ class TestParallelCampaign:
                 [HayatManager()],
                 config=cfg, population=population, table=table, workers=0,
             )
+
+    def test_progress_reported_from_pool(self, pieces):
+        cfg, population, table = pieces
+        calls = []
+        run_campaign(
+            [HayatManager()],
+            config=cfg, population=population, table=table, workers=2,
+            progress=lambda policy, chip: calls.append((policy, chip)),
+        )
+        assert calls == [("hayat", "chip-00"), ("hayat", "chip-01")]
+
+    def test_unpicklable_knob_raises_clear_error(self, pieces):
+        cfg, population, table = pieces
+        with pytest.raises(ValueError, match="mix_factory must be picklable"):
+            run_campaign(
+                [HayatManager()],
+                config=cfg, population=population, table=table, workers=2,
+                mix_factory=lambda epoch, n, rng: None,
+            )
+
+    def test_custom_dtm_plumbed_through_workers(self, pieces):
+        cfg, population, table = pieces
+        dtm = DTMPolicy(tsafe_k=cfg.tsafe_k - 15.0)  # much stricter
+        serial = run_campaign(
+            [VAAManager()],
+            config=cfg, population=population, table=table, workers=1,
+            dtm=dtm,
+        )
+        parallel = run_campaign(
+            [VAAManager()],
+            config=cfg, population=population, table=table, workers=2,
+            dtm=dtm,
+        )
+        for a, b in zip(serial.results["vaa"], parallel.results["vaa"]):
+            assert a.total_dtm_events() == b.total_dtm_events()
+            np.testing.assert_array_equal(
+                a.health_trajectory(), b.health_trajectory()
+            )
+
+
+class TestParallelMetricsAggregation:
+    def _counters(self, pieces, workers):
+        cfg, population, table = pieces
+        registry = MetricsRegistry(trace=True)
+        with use_registry(registry):
+            run_campaign(
+                [VAAManager(), HayatManager()],
+                config=cfg, population=population, table=table,
+                workers=workers,
+            )
+        return registry.snapshot()
+
+    def test_parallel_metrics_identical_to_serial(self, pieces):
+        serial = self._counters(pieces, workers=1)
+        parallel = self._counters(pieces, workers=2)
+        assert serial.counters == parallel.counters
+        assert {n: s.count for n, s in serial.timers.items()} == {
+            n: s.count for n, s in parallel.timers.items()
+        }
+        # Span events (campaign.run, sim.epoch, ...) ship home too.
+        def span_names(snapshot):
+            names = [
+                e["name"] for e in snapshot.events if e["kind"] == "span"
+            ]
+            return sorted(names)
+
+        assert span_names(serial) == span_names(parallel)

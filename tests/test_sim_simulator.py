@@ -98,3 +98,69 @@ class TestDerivedMetrics:
         target = 0.5 * (start + end)
         lifetime = hayat_result.lifetime_at_requirement_years(target)
         assert 0.0 < lifetime < 1.5
+
+
+class TestSettleClampConsistency:
+    def test_final_settle_solve_is_clamped(self, chip, aging_table, monkeypatch):
+        """Regression: the settle phase's *last* steady-state solve used
+        to merge into the aging input unclamped, bypassing the reaction
+        ceiling applied to every earlier round.  A steady state DTM
+        would intercept must never exceed ``tsafe + headroom`` in
+        ``worst_temps_k``.
+
+        The coupled solver is stubbed to report a steady state far past
+        the ceiling while DTM reports immediate quiescence (so that
+        solve is the settle phase's last), and the window integrator is
+        stubbed cold so only the settle merge feeds ``worst_temps_k``.
+        """
+        import repro.sim.simulator as simulator_module
+        from repro.dtm import DTMReport
+
+        cfg = SimulationConfig(
+            lifetime_years=0.5, epoch_years=0.5, dark_fraction_min=0.5,
+            window_s=5.0, seed=3,
+        )
+        sim = LifetimeSimulator(cfg)
+        ceiling = sim.dtm.tsafe_k + sim.dtm.headroom_k
+
+        real_solve = simulator_module.solve_coupled_steady_state
+
+        def overheated_solve(network, power_model, freq, activity, powered_on,
+                             **kwargs):
+            temps, breakdown = real_solve(
+                network, power_model, freq, activity, powered_on, **kwargs
+            )
+            return temps + (ceiling + 40.0 - temps.min()), breakdown
+
+        class ColdIntegrator:
+            """Window stub: every step lands at ambient, so the window
+            contributes nothing to ``worst_temps_k``."""
+
+            def __init__(self, network, dt_s):
+                self.network = network
+
+            def core_temperatures(self, all_nodes):
+                return np.asarray(all_nodes)[: self.network.num_cores]
+
+            def step(self, all_nodes, core_power_w):
+                return np.full(
+                    self.network.num_nodes, self.network.config.ambient_k
+                )
+
+        monkeypatch.setattr(
+            simulator_module, "solve_coupled_steady_state", overheated_solve
+        )
+        monkeypatch.setattr(
+            simulator_module, "TransientIntegrator", ColdIntegrator
+        )
+        monkeypatch.setattr(
+            sim.dtm, "enforce", lambda state, temps, fmax: DTMReport()
+        )
+
+        ctx = ChipContext(chip, aging_table, dark_fraction_min=0.5)
+        result = sim.run(ctx, HayatManager())
+
+        worst = result.epochs[0].worst_temps_k
+        assert float(worst.max()) <= ceiling + 1e-9
+        # The settle phase really did see the overheated solve.
+        assert float(worst.max()) == pytest.approx(ceiling)

@@ -49,3 +49,26 @@ class TestSweep:
     def test_empty_fractions_rejected(self, aging_table):
         with pytest.raises(ValueError):
             sweep_dark_fractions([HayatManager()], fractions=[])
+
+    def test_workers_forwarded_to_campaigns(self, sweep, aging_table):
+        """Regression: ``workers`` used to be dropped on the floor; a
+        pooled sweep must match the serial one exactly."""
+        cfg = SimulationConfig(
+            lifetime_years=1.0, epoch_years=0.5, window_s=5.0, seed=17
+        )
+        pooled = sweep_dark_fractions(
+            [VAAManager(), HayatManager()],
+            fractions=[0.25, 0.5],
+            config=cfg,
+            population=generate_population(2, seed=9),
+            table=aging_table,
+            workers=2,
+        )
+        for fraction in (0.25, 0.5):
+            for name in ("vaa", "hayat"):
+                serial_runs = sweep.campaigns[fraction].results[name]
+                pooled_runs = pooled.campaigns[fraction].results[name]
+                for a, b in zip(serial_runs, pooled_runs):
+                    np.testing.assert_array_equal(
+                        a.health_trajectory(), b.health_trajectory()
+                    )
