@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Run the simulator perf benchmarks and persist their stats as JSON.
+
+Usage::
+
+    python scripts/run_benchmarks.py --output BENCH_PR2.json \
+        [--baseline old_stats.json] [--pytest-arg=--benchmark-warmup=on]
+
+Runs ``benchmarks/test_perf_simulator.py`` under pytest-benchmark,
+distills the per-test stats (mean/min/stddev in milliseconds), and
+writes them to ``--output``.  When ``--baseline`` points at an earlier
+pytest-benchmark JSON (or an earlier output of this script), the file
+also records the baseline means and the resulting speedups — the
+before/after record the perf acceptance criteria read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILE = os.path.join("benchmarks", "test_perf_simulator.py")
+
+
+def _distill(raw: dict) -> dict:
+    """Per-test stats (ms) from a pytest-benchmark JSON payload."""
+    out = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        out[bench["name"]] = {
+            "mean_ms": stats["mean"] * 1e3,
+            "min_ms": stats["min"] * 1e3,
+            "stddev_ms": stats["stddev"] * 1e3,
+            "rounds": stats["rounds"],
+        }
+    return out
+
+
+def _load_stats(path: str) -> dict:
+    """Accept either raw pytest-benchmark output or this script's own."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if "benchmarks" in data:
+        return _distill(data)
+    return data.get("after", data)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_PR2.json")
+    parser.add_argument(
+        "--baseline",
+        help="earlier stats JSON to record as 'before' (with speedups)",
+    )
+    parser.add_argument(
+        "--pytest-arg",
+        action="append",
+        default=[],
+        help="extra argument forwarded to pytest (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw_path = handle.name
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    command = [
+        sys.executable, "-m", "pytest", BENCH_FILE, "-q",
+        "--benchmark-only", f"--benchmark-json={raw_path}",
+        *args.pytest_arg,
+    ]
+    try:
+        status = subprocess.call(command, cwd=REPO_ROOT, env=env)
+        if status != 0:
+            return status
+        with open(raw_path) as handle:
+            raw = json.load(handle)
+    finally:
+        if os.path.exists(raw_path):
+            os.unlink(raw_path)
+
+    after = _distill(raw)
+    payload: dict = {
+        "suite": BENCH_FILE,
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+        "after": after,
+    }
+    if args.baseline:
+        before = _load_stats(args.baseline)
+        payload["before"] = before
+        payload["speedup"] = {
+            name: before[name]["mean_ms"] / stats["mean_ms"]
+            for name, stats in after.items()
+            if name in before and stats["mean_ms"] > 0
+        }
+    with open(os.path.join(REPO_ROOT, args.output), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    for name, stats in sorted(after.items()):
+        line = f"  {name}: {stats['mean_ms']:.3f} ms mean"
+        if "speedup" in payload and name in payload["speedup"]:
+            line += f" ({payload['speedup'][name]:.2f}x vs baseline)"
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,11 +46,22 @@ def _default_age_grid() -> np.ndarray:
     return np.concatenate([[0.0], np.geomspace(0.05, 120.0, 31)])
 
 
-def _axis_weights(grid: np.ndarray, values: np.ndarray):
-    """Locate ``values`` on ``grid``: lower indices and linear weights."""
-    values = np.clip(values, grid[0], grid[-1])
-    idx = np.clip(np.searchsorted(grid, values, side="right") - 1, 0, len(grid) - 2)
-    span = grid[idx + 1] - grid[idx]
+def _axis_weights(grid: np.ndarray, values: np.ndarray, spans: np.ndarray | None = None):
+    """Locate ``values`` on ``grid``: lower indices and linear weights.
+
+    ``np.minimum``/``np.maximum`` replace the ``np.clip`` wrapper (same
+    values, far less dispatch overhead — this runs once per axis per
+    candidate batch inside Algorithm 1's scoring loop).  ``spans`` may
+    carry the precomputed ``np.diff(grid)`` — the identical segment
+    widths, one gather instead of two plus a subtraction.
+    """
+    values = np.minimum(np.maximum(values, grid[0]), grid[-1])
+    idx = np.searchsorted(grid, values, side="right") - 1
+    idx = np.minimum(np.maximum(idx, 0), len(grid) - 2)
+    if spans is None:
+        span = grid[idx + 1] - grid[idx]
+    else:
+        span = spans[idx]
     frac = (values - grid[idx]) / span
     return idx, frac
 
@@ -83,6 +94,23 @@ class AgingTable:
                 raise ValueError(f"{name} must be strictly increasing, length >= 2")
         if (self.values <= 0).any() or (self.values > 1.0 + 1e-12).any():
             raise ValueError("health values must lie in (0, 1]")
+        # Flat views for the hot lookups: the same elements gathered by
+        # row offset instead of fancy 3D indexing (which materializes an
+        # index product per corner).  Bit-identical, several times
+        # cheaper per call.
+        self.values = np.ascontiguousarray(self.values)
+        n_d, n_y = len(self.duty_grid), len(self.age_grid_years)
+        self._values2d = self.values.reshape(-1, n_y)
+        self._values_flat = self.values.reshape(-1)
+        self._row_stride = n_d * n_y
+        # Physical tables decrease along the age axis; when every stored
+        # curve does, the inverse lookup may bisect (see
+        # :meth:`_ages_located`).  Non-monotone (synthetic) tables fall
+        # back to the exhaustive comparison.
+        self._age_monotone = bool((np.diff(self.values, axis=2) <= 0.0).all())
+        self._temp_spans = np.diff(self.temp_grid_k)
+        self._duty_spans = np.diff(self.duty_grid)
+        self._age_spans = np.diff(self.age_grid_years)
 
     @property
     def max_age_years(self) -> float:
@@ -99,19 +127,48 @@ class AgingTable:
             np.asarray(duty, dtype=float),
             np.asarray(age_years, dtype=float),
         )
-        it, ft = _axis_weights(self.temp_grid_k, temp_k)
-        idx_d, fd = _axis_weights(self.duty_grid, duty)
-        iy, fy = _axis_weights(self.age_grid_years, age_years)
-        out = np.zeros(temp_k.shape)
+        it, ft = _axis_weights(self.temp_grid_k, temp_k, self._temp_spans)
+        idx_d, fd = _axis_weights(self.duty_grid, duty, self._duty_spans)
+        iy, fy = _axis_weights(self.age_grid_years, age_years, self._age_spans)
+        return self._health_located(it, ft, idx_d, fd, iy, fy)
+
+    def _health_located(self, it, ft, idx_d, fd, iy, fy) -> np.ndarray:
+        """Trilinear blend from pre-located axis positions.
+
+        The eight corners are gathered from the flat value array at a
+        shared base offset — the same elements, and the same
+        ``((wt*wd)*wy)*corner`` product and accumulation order, as the
+        original 3D fancy-indexing form, so results are bit-identical.
+        """
+        n_y = len(self.age_grid_years)
+        base = it * self._row_stride + idx_d * n_y + iy
+        # All eight corners in one gather — corner axis first (each
+        # ``corners[k]`` is then a contiguous batch row), corner order
+        # matching the (dt, dd, dy) loop nest below.
+        offsets = np.array(
+            [
+                0,
+                1,
+                n_y,
+                n_y + 1,
+                self._row_stride,
+                self._row_stride + 1,
+                self._row_stride + n_y,
+                self._row_stride + n_y + 1,
+            ],
+            dtype=np.intp,
+        ).reshape((8,) + (1,) * base.ndim)
+        corners = self._values_flat[offsets + base]
+        out = np.zeros(it.shape)
+        corner = 0
         for dt in (0, 1):
-            wt = np.where(dt == 0, 1.0 - ft, ft)
+            wt = (1.0 - ft) if dt == 0 else ft
             for dd in (0, 1):
-                wd = np.where(dd == 0, 1.0 - fd, fd)
+                wtd = wt * ((1.0 - fd) if dd == 0 else fd)
                 for dy in (0, 1):
-                    wy = np.where(dy == 0, 1.0 - fy, fy)
-                    out += (
-                        wt * wd * wy * self.values[it + dt, idx_d + dd, iy + dy]
-                    )
+                    wy = (1.0 - fy) if dy == 0 else fy
+                    out += (wtd * wy) * corners[corner]
+                    corner += 1
         return out
 
     # ------------------------------------------------------------------
@@ -122,32 +179,98 @@ class AgingTable:
         temp_k = np.atleast_1d(np.asarray(temp_k, dtype=float))
         duty = np.atleast_1d(np.asarray(duty, dtype=float))
         temp_k, duty = np.broadcast_arrays(temp_k, duty)
-        it, ft = _axis_weights(self.temp_grid_k, temp_k)
-        idx_d, fd = _axis_weights(self.duty_grid, duty)
+        it, ft = _axis_weights(self.temp_grid_k, temp_k, self._temp_spans)
+        idx_d, fd = _axis_weights(self.duty_grid, duty, self._duty_spans)
+        return self._curves_located(it, ft, idx_d, fd)
+
+    def _curves_located(self, it, ft, idx_d, fd) -> np.ndarray:
+        """Age-axis curves from pre-located (T, d) positions.
+
+        Row gathers on the 2D ``(n_T*n_d, n_y)`` view fetch the same
+        four curves as ``values[it, idx_d + dd, :]``; the per-corner
+        weight products and the left-to-right sum match the original
+        expression, so the blend is bit-identical.
+        """
+        rows = it * len(self.duty_grid) + idx_d
+        v2 = self._values2d
+        omt, omd = 1 - ft, 1 - fd
         curves = (
-            (1 - ft)[:, None] * (1 - fd)[:, None] * self.values[it, idx_d, :]
-            + (1 - ft)[:, None] * fd[:, None] * self.values[it, idx_d + 1, :]
-            + ft[:, None] * (1 - fd)[:, None] * self.values[it + 1, idx_d, :]
-            + ft[:, None] * fd[:, None] * self.values[it + 1, idx_d + 1, :]
+            (omt * omd)[:, None] * v2[rows]
+            + (omt * fd)[:, None] * v2[rows + 1]
+            + (ft * omd)[:, None] * v2[rows + len(self.duty_grid)]
+            + (ft * fd)[:, None] * v2[rows + len(self.duty_grid) + 1]
         )
         return curves
 
-    def equivalent_age(self, temp_k, duty, health) -> np.ndarray:
-        """Age (years) at which (T, d) stress would reach ``health``.
+    def _ages_located(self, it, ft, idx_d, fd, health_b) -> np.ndarray:
+        """Inverse age lookup from pre-located (T, d) positions.
 
-        Vectorized over the batch.  Health >= the curve's start maps to
-        age 0; health <= the curve's end clamps to the table edge.  A
-        zero-duty curve is flat at 1.0, where any degraded health has no
-        finite equivalent age — the edge clamp applies (such cores will
-        simply not age further, matching the physics of zero stress).
+        For monotone tables the bracketing segment is found by bisecting
+        the blended curve — ~log2(n_y) single-column blends instead of
+        materializing the full ``(batch, n_y)`` curve matrix.  Each
+        blended sample and the final interpolation reproduce, element
+        for element, the products and sums of the full-curve path, and
+        the prefix property of non-increasing curves makes the bisected
+        segment index equal the exhaustive comparison count — so results
+        are bit-identical to :meth:`_ages_on_curves`.
         """
-        health = np.atleast_1d(np.asarray(health, dtype=float))
-        curves = self._health_curves(temp_k, duty)
-        health_b = np.broadcast_to(health, (curves.shape[0],))
+        if not self._age_monotone:
+            curves = self._curves_located(it, ft, idx_d, fd)
+            return self._ages_on_curves(curves, health_b)
+        n_y = len(self.age_grid_years)
+        n_d = len(self.duty_grid)
+        flat = self._values_flat
+        base = (it * n_d + idx_d) * n_y
+        # Flat start offsets of the four corner curves, stacked so each
+        # blend sample is one gather of shape (4, batch).
+        bases = np.empty((4, base.shape[0]), dtype=np.intp)
+        bases[0] = base
+        bases[1] = base + n_y
+        bases[2] = base + n_d * n_y
+        bases[3] = bases[2] + n_y
+        omt, omd = 1 - ft, 1 - fd
+        w00, w01, w10, w11 = omt * omd, omt * fd, ft * omd, ft * fd
+
+        def blend(col):
+            # One column of the bilinear (T, d) curve blend; same
+            # per-element products and left-to-right sum as the
+            # full-matrix expression.
+            g = flat[bases + col]
+            return w00 * g[0] + w01 * g[1] + w10 * g[2] + w11 * g[3]
+
+        # count = first age index whose blended health is <= the target;
+        # fixed ceil(log2(n_y + 1)) rounds narrow [lo_b, hi_b] to it.
+        lo_b = np.zeros(it.shape, dtype=np.intp)
+        hi_b = np.full(it.shape, n_y, dtype=np.intp)
+        for _ in range(int(np.ceil(np.log2(n_y + 1)))):
+            active = lo_b < hi_b
+            mid = (lo_b + hi_b) >> 1
+            gt = blend(np.minimum(mid, n_y - 1)) > health_b
+            sel_gt = active & gt
+            np.putmask(hi_b, active ^ sel_gt, mid)  # active rows with <=
+            mid += 1
+            np.putmask(lo_b, sel_gt, mid)
+        count = lo_b
+        lo = np.minimum(np.maximum(count - 1, 0), n_y - 2)
+        h_lo = blend(lo)
+        h_hi = blend(lo + 1)  # smaller or equal to h_lo
+        span = h_lo - h_hi
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(span > 0, (h_lo - health_b) / span, 0.0)
+        frac = np.clip(frac, 0.0, 1.0)
+        ages = self.age_grid_years[lo] + frac * (
+            self.age_grid_years[lo + 1] - self.age_grid_years[lo]
+        )
+        ages = np.where(count == 0, 0.0, ages)
+        ages = np.where(count == n_y, self.max_age_years, ages)
+        return ages
+
+    def _ages_on_curves(self, curves, health_b) -> np.ndarray:
+        """Invert pre-blended age-axis curves for ``health_b`` targets."""
         # Curves decrease along the age axis.  Count how many grid points
         # still exceed the target health; that locates the bracketing
         # segment.
-        count = (curves > health_b[:, None]).sum(axis=1)
+        count = np.count_nonzero(curves > health_b[:, None], axis=1)
         lo = np.clip(count - 1, 0, curves.shape[1] - 2)
         rows = np.arange(curves.shape[0])
         h_lo = curves[rows, lo]
@@ -163,6 +286,24 @@ class AgingTable:
         ages = np.where(count == curves.shape[1], self.max_age_years, ages)
         return ages
 
+    def equivalent_age(self, temp_k, duty, health) -> np.ndarray:
+        """Age (years) at which (T, d) stress would reach ``health``.
+
+        Vectorized over the batch.  Health >= the curve's start maps to
+        age 0; health <= the curve's end clamps to the table edge.  A
+        zero-duty curve is flat at 1.0, where any degraded health has no
+        finite equivalent age — the edge clamp applies (such cores will
+        simply not age further, matching the physics of zero stress).
+        """
+        health = np.atleast_1d(np.asarray(health, dtype=float))
+        temp_k = np.atleast_1d(np.asarray(temp_k, dtype=float))
+        duty = np.atleast_1d(np.asarray(duty, dtype=float))
+        temp_k, duty = np.broadcast_arrays(temp_k, duty)
+        it, ft = _axis_weights(self.temp_grid_k, temp_k, self._temp_spans)
+        idx_d, fd = _axis_weights(self.duty_grid, duty, self._duty_spans)
+        health_b = np.broadcast_to(health, it.shape)
+        return self._ages_located(it, ft, idx_d, fd, health_b)
+
     def next_health(self, temp_k, duty, current_health, epoch_years) -> np.ndarray:
         """One table walk: re-index by health, advance the age axis.
 
@@ -170,11 +311,24 @@ class AgingTable:
         Algorithm 1 (line 15): find each core's equivalent position for
         the *predicted* (T, d) of the next epoch, move ``epoch_years``
         along the age axis, and read the resulting health.
+
+        The (T, d) axes are located once and shared between the inverse
+        walk and the forward read — the dominant cost of Algorithm 1's
+        candidate scoring loop — with results bit-identical to the
+        compose-of-public-lookups form this replaces.
         """
         if epoch_years < 0:
             raise ValueError("epoch_years must be non-negative")
-        ages = self.equivalent_age(temp_k, duty, current_health)
-        new_health = self.health(temp_k, duty, ages + epoch_years)
+        temp_b = np.atleast_1d(np.asarray(temp_k, dtype=float))
+        duty_b = np.atleast_1d(np.asarray(duty, dtype=float))
+        temp_b, duty_b = np.broadcast_arrays(temp_b, duty_b)
+        it, ft = _axis_weights(self.temp_grid_k, temp_b, self._temp_spans)
+        idx_d, fd = _axis_weights(self.duty_grid, duty_b, self._duty_spans)
+        health = np.atleast_1d(np.asarray(current_health, dtype=float))
+        health_b = np.broadcast_to(health, it.shape)
+        ages = self._ages_located(it, ft, idx_d, fd, health_b)
+        iy, fy = _axis_weights(self.age_grid_years, ages + epoch_years, self._age_spans)
+        new_health = self._health_located(it, ft, idx_d, fd, iy, fy)
         # Health is monotone non-increasing under additional stress; the
         # clamp guards interpolation wiggle at segment boundaries.
         return np.minimum(new_health, np.atleast_1d(current_health))

@@ -29,6 +29,7 @@ from repro.core import HayatManager
 from repro.obs import disable_metrics, enable_metrics
 from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig, run_campaign
 from repro.sim.export import save_results_json, save_summary_csv, save_trace_jsonl
+from repro.thermal import configure_thermal_cache
 from repro.util.constants import AMBIENT_KELVIN
 from repro.variation import generate_population
 
@@ -51,6 +52,14 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         "--trace",
         metavar="PATH",
         help="write a JSONL trace (spans, counters, timers) to PATH",
+    )
+    parser.add_argument(
+        "--no-thermal-cache",
+        action="store_true",
+        help=(
+            "disable the process-level thermal compute cache (results are "
+            "bit-identical either way; use to time the uncached path)"
+        ),
     )
 
 
@@ -328,6 +337,8 @@ def _cmd_sweep(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if getattr(args, "no_thermal_cache", False):
+        configure_thermal_cache(enabled=False)
     handlers = {
         "chip": _cmd_chip,
         "simulate": _cmd_simulate,

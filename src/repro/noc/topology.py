@@ -14,6 +14,10 @@ import numpy as np
 
 from repro.floorplan import Floorplan
 
+#: Process-wide all-pairs route tables keyed by mesh shape; see
+#: :meth:`MeshTopology._route_csr`.
+_ROUTE_CSR_CACHE: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+
 
 class MeshTopology:
     """Routing and link bookkeeping for a mesh the size of a floorplan.
@@ -80,11 +84,49 @@ class MeshTopology:
             row_s += step
         return path
 
+    @cached_property
+    def _route_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """All-pairs XY routes in CSR form: ``(indptr, link_ids)``.
+
+        Pair ``(src, dst)`` maps to row ``src * num_nodes + dst``; the
+        row's slice of ``link_ids`` lists the route's links in travel
+        order.  Routes and link ids are fully determined by the mesh
+        shape, so the table is built once per process per (rows, cols)
+        and shared by every topology instance — a fresh ``ChipContext``
+        each epoch must not re-pay ~n^2 Python routings.
+        """
+        key = (self.floorplan.rows, self.floorplan.cols)
+        cached = _ROUTE_CSR_CACHE.get(key)
+        if cached is not None:
+            return cached
+        n = self.num_nodes
+        indptr = np.zeros(n * n + 1, dtype=np.intp)
+        rows: list[list[int]] = []
+        for src in range(n):
+            for dst in range(n):
+                path = self.route(src, dst) if src != dst else []
+                rows.append(path)
+                indptr[src * n + dst + 1] = indptr[src * n + dst] + len(path)
+        link_ids = np.fromiter(
+            (link for path in rows for link in path),
+            dtype=np.intp,
+            count=int(indptr[-1]),
+        )
+        indptr.flags.writeable = False
+        link_ids.flags.writeable = False
+        _ROUTE_CSR_CACHE[key] = (indptr, link_ids)
+        return indptr, link_ids
+
     def link_loads(self, traffic: np.ndarray) -> np.ndarray:
         """Per-link load for a node-to-node traffic matrix.
 
         ``traffic[i, j]`` is the rate from node ``i`` to ``j`` (any
         consistent unit); the result sums every flow over its XY route.
+
+        Flows are accumulated through the precomputed route table with
+        ``np.add.at`` in the same row-major flow order (and per-flow
+        route order) as the reference per-flow loop, so the float sums
+        are bit-identical to it.
         """
         traffic = np.asarray(traffic, dtype=float)
         if traffic.shape != (self.num_nodes, self.num_nodes):
@@ -92,9 +134,18 @@ class MeshTopology:
         if (traffic < 0).any():
             raise ValueError("traffic rates must be non-negative")
         loads = np.zeros(self.num_links)
-        for src, dst in zip(*np.nonzero(traffic)):
-            if src == dst:
-                continue
-            for link in self.route(int(src), int(dst)):
-                loads[link] += traffic[src, dst]
+        indptr, link_ids = self._route_csr
+        flat = traffic.reshape(-1)
+        flows = np.nonzero(flat)[0]  # row-major == (src, dst) loop order
+        if flows.size == 0:
+            return loads
+        starts = indptr[flows]
+        counts = indptr[flows + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return loads
+        # Expand the CSR slices: for each flow, its route's link ids.
+        cum = np.cumsum(counts) - counts
+        idx = np.arange(total) - np.repeat(cum, counts) + np.repeat(starts, counts)
+        np.add.at(loads, link_ids[idx], np.repeat(flat[flows], counts))
         return loads

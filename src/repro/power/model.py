@@ -108,6 +108,42 @@ class PowerModel:
         leak = self.leakage.power_w(temp_k, self.leakage_scale, powered_on)
         return PowerBreakdown(dynamic_w=dynamic, leakage_w=np.asarray(leak))
 
+    def evaluate_batch(
+        self,
+        freq_ghz: np.ndarray,
+        activity: np.ndarray,
+        temp_k: np.ndarray,
+        powered_on: np.ndarray,
+    ) -> PowerBreakdown:
+        """Per-core power for a batch of chip states at once.
+
+        All inputs are ``(batch, num_cores)``; the returned breakdown's
+        arrays have the same shape.  One vectorized pass replaces
+        ``batch`` :meth:`evaluate` calls — the power half of the
+        stacked-RHS path used by
+        :func:`repro.thermal.coupled.solve_coupled_steady_state_batch`.
+        """
+        freq_ghz = self._stacked("freq_ghz", freq_ghz)
+        activity = self._stacked("activity", activity)
+        temp_k = self._stacked("temp_k", temp_k)
+        powered_on = np.asarray(powered_on, dtype=bool)
+        if powered_on.shape != freq_ghz.shape:
+            raise ValueError("powered_on must match the batch shape")
+        dynamic = np.where(
+            powered_on, self.dynamic.power_w(freq_ghz, activity), 0.0
+        )
+        leak = self.leakage.power_w(temp_k, self.leakage_scale, powered_on)
+        return PowerBreakdown(dynamic_w=dynamic, leakage_w=np.asarray(leak))
+
+    def _stacked(self, name: str, values) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != self.num_cores:
+            raise ValueError(
+                f"{name} must have shape (batch, {self.num_cores}), "
+                f"got {values.shape}"
+            )
+        return values
+
     def _flat(self, name: str, values) -> np.ndarray:
         values = np.asarray(values, dtype=float)
         if values.shape != (self.num_cores,):

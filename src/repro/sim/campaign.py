@@ -20,6 +20,12 @@ from repro.sim.config import SimulationConfig
 from repro.sim.context import ChipContext
 from repro.sim.results import LifetimeResult
 from repro.sim.simulator import LifetimeSimulator
+from repro.thermal.cache import (
+    configure_thermal_cache,
+    floorplan_signature,
+    get_thermal_cache,
+    warm_thermal_cache,
+)
 from repro.util.constants import AMBIENT_KELVIN
 from repro.variation.population import ChipPopulation, generate_population
 
@@ -95,9 +101,40 @@ class CampaignResult:
         )
 
 
+#: Campaign-wide invariants shared by every job of the current campaign.
+#: In a spawn worker :func:`_init_worker` fills it once from the pool
+#: initializer (the table/config/knobs are pickled once per *worker*
+#: instead of once per *job*); the serial path calls the same
+#: initializer in-process so both paths run identical code.
+_SHARED: dict = {}
+
+
+def _init_worker(shared: dict) -> None:
+    """Install the campaign invariants and pre-warm the thermal cache.
+
+    Warming happens with the obs registry suppressed (see
+    :func:`repro.thermal.cache.warm_thermal_cache`), so every job —
+    serial in the parent or parallel in any worker — later sees an
+    identically warm cache and records identical ``thermal.*`` counters.
+    That is what keeps parallel metric aggregates bit-identical to
+    serial ones even though each worker process has its own cache.
+    """
+    _SHARED.clear()
+    _SHARED.update(shared)
+    # Spawn workers start with a fresh (enabled) cache; mirror the
+    # parent's setting so a cache-disabled campaign is cache-disabled
+    # everywhere and counters again match the serial run.
+    configure_thermal_cache(enabled=shared["thermal_cache_enabled"])
+    if shared["thermal_cache_enabled"]:
+        config = shared["config"]
+        for floorplan in shared["warm_floorplans"]:
+            warm_thermal_cache(floorplan, dt_s=config.control_dt_s)
+
+
 def _run_one(job):
     """Worker entry: one (policy, chip) lifetime.  Module-level so it
-    pickles for multiprocessing.
+    pickles for multiprocessing; the shared table/config/knobs come from
+    :data:`_SHARED`, not the job tuple.
 
     Returns ``(LifetimeResult, MetricsSnapshot | None)``.  In the serial
     path metrics flow straight into the caller's registry and the
@@ -107,11 +144,13 @@ def _run_one(job):
     with the result for the parent to merge — making parallel campaign
     aggregation identical to serial.
     """
-    policy, chip, table, config, dtm, mix_factory, collect, tracing = job
+    policy, chip = job
+    table = _SHARED["table"]
+    config = _SHARED["config"]
     registry = get_registry()
-    fresh = collect and not registry.enabled
+    fresh = _SHARED["collect"] and not registry.enabled
     if fresh:
-        registry = MetricsRegistry(trace=tracing)
+        registry = MetricsRegistry(trace=_SHARED["tracing"])
     with use_registry(registry):
         with registry.timer(
             "campaign.run", policy=policy.name, chip=chip.chip_id
@@ -120,11 +159,19 @@ def _run_one(job):
                 chip, table, dark_fraction_min=config.dark_fraction_min
             )
             simulator = LifetimeSimulator(
-                config, dtm=dtm, mix_factory=mix_factory
+                config, dtm=_SHARED["dtm"], mix_factory=_SHARED["mix_factory"]
             )
             result = simulator.run(ctx, policy)
     registry.inc("campaign.runs")
     return result, (registry.snapshot() if fresh else None)
+
+
+def _distinct_floorplans(population) -> list:
+    """One floorplan per distinct thermal signature in the population."""
+    seen: dict = {}
+    for chip in population:
+        seen.setdefault(floorplan_signature(chip.floorplan), chip.floorplan)
+    return list(seen.values())
 
 
 def run_campaign(
@@ -159,7 +206,11 @@ def run_campaign(
     workers:
         Process count.  Every (policy, chip) lifetime is independent,
         so results are bit-identical to the serial run; use this for
-        paper-scale campaigns.
+        paper-scale campaigns.  The shared table/config/knobs ship once
+        per worker through the pool initializer (not once per job), jobs
+        stream in chunks to amortize IPC, and each worker's thermal
+        compute cache is pre-warmed so no job pays a first-miss
+        factorization.
     dtm, mix_factory:
         Forwarded to every :class:`LifetimeSimulator` (``None`` = the
         simulator's defaults).  With ``workers > 1`` both must pickle
@@ -183,14 +234,19 @@ def run_campaign(
     policies = list(policies)
     campaign = CampaignResult(config=config)
     registry = get_registry()
-    collect = registry.enabled
-    jobs = [
-        (policy, chip, table, config, dtm, mix_factory, collect,
-         registry.tracing)
-        for policy in policies
-        for chip in population
-    ]
+    shared = {
+        "table": table,
+        "config": config,
+        "dtm": dtm,
+        "mix_factory": mix_factory,
+        "collect": registry.enabled,
+        "tracing": registry.tracing,
+        "warm_floorplans": _distinct_floorplans(population),
+        "thermal_cache_enabled": get_thermal_cache().enabled,
+    }
+    jobs = [(policy, chip) for policy in policies for chip in population]
     if workers == 1:
+        _init_worker(shared)
         flat: list[LifetimeResult] = []
         for job in jobs:
             if progress is not None:
@@ -209,10 +265,20 @@ def run_campaign(
                     f"(workers={workers}); got {knob!r} ({error}). "
                     "Use a module-level callable, or workers=1."
                 ) from error
+        # Also warm the parent's cache (silently): with metrics enabled
+        # the serial and parallel paths must record identical thermal
+        # counters, so neither may pay a first-miss inside a job.
+        _init_worker(shared)
+        # Chunked dispatch amortizes IPC overhead; four chunks per
+        # worker keeps the tail balanced while cutting per-job pickling
+        # round-trips.  imap preserves submission order either way.
+        chunksize = max(1, len(jobs) // (workers * 4))
         flat = []
-        with multiprocessing.get_context("spawn").Pool(workers) as pool:
+        with multiprocessing.get_context("spawn").Pool(
+            workers, initializer=_init_worker, initargs=(shared,)
+        ) as pool:
             for job, (result, snapshot) in zip(
-                jobs, pool.imap(_run_one, jobs)
+                jobs, pool.imap(_run_one, jobs, chunksize=chunksize)
             ):
                 if snapshot is not None:
                     registry.merge_snapshot(snapshot)

@@ -8,6 +8,8 @@ are upscaled to the epoch length to advance the health state.
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from repro.dtm.policy import DTMPolicy
@@ -201,16 +203,22 @@ class LifetimeSimulator:
         arrived_threads = 0
         tsafe_violations = 0
         departed_threads: set[int] = set()
-        pending_departures: list[tuple[float, list[int]]] = []
+        # Min-heap ordered by departure time (insertion order breaks
+        # ties), so each step pops only the due departures instead of
+        # scanning and list.remove()-ing the whole backlog — the O(n^2)
+        # former behaviour.  Departures within one step are independent
+        # (each thread holds at most one core), so pop order does not
+        # change the resulting state.
+        pending_departures: list[tuple[float, int, list[int]]] = []
+        departure_seq = 0
         steps = cfg.steps_per_window
         with obs.timer("sim.window"):
             for step in range(steps):
                 t = step * cfg.control_dt_s
                 if arrivals is not None:
-                    for departure_s, indices in list(pending_departures):
-                        if departure_s <= t:
-                            self._depart(state, indices, departed_threads)
-                            pending_departures.remove((departure_s, indices))
+                    while pending_departures and pending_departures[0][0] <= t:
+                        _, _, indices = heapq.heappop(pending_departures)
+                        self._depart(state, indices, departed_threads)
                     for event in arrivals.due(t, t + cfg.control_dt_s):
                         indices = [
                             state.add_thread(th)
@@ -226,9 +234,11 @@ class LifetimeSimulator:
                             integrator.core_temperatures(all_nodes),
                         )
                         if np.isfinite(event.departure_s):
-                            pending_departures.append(
-                                (event.departure_s, indices)
+                            heapq.heappush(
+                                pending_departures,
+                                (event.departure_s, departure_seq, indices),
                             )
+                            departure_seq += 1
                 activity = state.activity_vector(t)
                 core_temps = integrator.core_temperatures(all_nodes)
                 breakdown = ctx.power_model.evaluate(

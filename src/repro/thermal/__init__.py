@@ -16,19 +16,35 @@ Two solvers are exposed:
   mappings must be scored per decision.
 """
 
+from repro.thermal.cache import (
+    ThermalComputeCache,
+    clear_thermal_cache,
+    configure_thermal_cache,
+    get_thermal_cache,
+    warm_thermal_cache,
+)
 from repro.thermal.config import ThermalConfig
 from repro.thermal.rcnet import ThermalRCNetwork, TransientIntegrator
-from repro.thermal.coupled import solve_coupled_steady_state
+from repro.thermal.coupled import (
+    solve_coupled_steady_state,
+    solve_coupled_steady_state_batch,
+)
 from repro.thermal.exact import ExactIntegrator
 from repro.thermal.predictor import ThermalPredictor
 from repro.thermal.sensors import ThermalSensor
 
 __all__ = [
     "ExactIntegrator",
+    "ThermalComputeCache",
     "ThermalConfig",
     "ThermalPredictor",
     "ThermalRCNetwork",
     "ThermalSensor",
     "TransientIntegrator",
+    "clear_thermal_cache",
+    "configure_thermal_cache",
+    "get_thermal_cache",
     "solve_coupled_steady_state",
+    "solve_coupled_steady_state_batch",
+    "warm_thermal_cache",
 ]

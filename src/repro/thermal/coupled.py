@@ -61,3 +61,69 @@ def solve_coupled_steady_state(
     raise ThermalRunawayError(
         f"no convergence within {max_iter} iterations (last delta {delta:.3f} K)"
     )
+
+
+def solve_coupled_steady_state_batch(
+    network: ThermalRCNetwork,
+    power_model: PowerModel,
+    freq_ghz: np.ndarray,
+    activity: np.ndarray,
+    powered_on: np.ndarray,
+    tol_k: float = 0.05,
+    max_iter: int = 400,
+    damping: float = 0.6,
+) -> tuple[np.ndarray, PowerBreakdown]:
+    """Solve many leakage-temperature fixed points with stacked RHS.
+
+    All inputs are ``(batch, num_cores)``; each row is an independent
+    chip state iterated exactly as :func:`solve_coupled_steady_state`
+    iterates a single one, but every Picard pass evaluates all
+    still-unconverged rows with one vectorized power evaluation and one
+    multi-RHS triangular solve against the shared Cholesky factor
+    (:meth:`~repro.thermal.rcnet.ThermalRCNetwork.steady_state_batch`).
+    Rows freeze as they converge, so late stragglers don't re-solve the
+    finished ones.
+
+    Returns ``(core_temps_k, power_breakdown)`` with ``(batch,
+    num_cores)`` arrays.  Raises :class:`ThermalRunawayError` if any row
+    diverges or fails to converge — same contract as the scalar solver.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError("damping must lie in (0, 1]")
+    freq_ghz = np.atleast_2d(np.asarray(freq_ghz, dtype=float))
+    activity = np.atleast_2d(np.asarray(activity, dtype=float))
+    powered_on = np.atleast_2d(np.asarray(powered_on, dtype=bool))
+    batch = freq_ghz.shape[0]
+    if not (
+        freq_ghz.shape == activity.shape == powered_on.shape
+        and freq_ghz.shape[1] == network.num_cores
+    ):
+        raise ValueError("batch inputs must share shape (batch, num_cores)")
+    obs = get_registry()
+    obs.inc("thermal.coupled_solves", batch)
+    temps = np.full((batch, network.num_cores), network.config.ambient_k)
+    active = np.arange(batch)
+    iterations = np.zeros(batch, dtype=int)
+    for iteration in range(max_iter):
+        breakdown = power_model.evaluate_batch(
+            freq_ghz[active], activity[active], temps[active], powered_on[active]
+        )
+        target = network.steady_state_batch(breakdown.total_w)
+        if not np.isfinite(target).all():
+            raise ThermalRunawayError(
+                "leakage-temperature iteration diverged (thermal runaway)"
+            )
+        new_temps = temps[active] + damping * (target - temps[active])
+        delta = np.abs(new_temps - temps[active]).max(axis=1)
+        temps[active] = new_temps
+        iterations[active] = iteration + 1
+        active = active[delta >= tol_k]
+        if active.size == 0:
+            obs.inc("thermal.coupled_iterations", int(iterations.sum()))
+            return temps, power_model.evaluate_batch(
+                freq_ghz, activity, temps, powered_on
+            )
+    raise ThermalRunawayError(
+        f"no convergence within {max_iter} iterations "
+        f"({active.size} of {batch} rows unconverged)"
+    )

@@ -83,11 +83,15 @@ class ThermalPredictor:
         spatial thermal profile; with a linear substrate one unit-power
         probe per core characterizes the superposition exactly.  The
         zero-power baseline probe captures any constant uncore heat.
+
+        Both the influence kernel and the baseline depend only on the
+        network's geometry and config, so they come from the process-wide
+        thermal compute cache: learning the predictor for every chip of a
+        campaign probes the model once.
         """
-        baseline = network.steady_state(np.zeros(network.num_cores))
         return cls(
             network.influence_matrix(),
-            baseline,
+            network.zero_power_baseline(),
             power_model,
             leakage_iterations,
         )
@@ -187,6 +191,11 @@ class ThermalPredictor:
         dyn = self.power_model.dynamic.power_w(freq_ghz, activity) * powered_on
         leak_scale = self.power_model.leakage_scale
         gated = self.power_model.leakage.gated_w
+        # (nominal * scale) hoisted out of the correction loop — the
+        # same left-to-right product the in-loop expression computed.
+        nominal_scaled = (
+            self.power_model.leakage.nominal_w * leak_scale[None, :]
+        )
 
         if initial_temps_k is None:
             temps = np.broadcast_to(
@@ -198,10 +207,8 @@ class ThermalPredictor:
                 raise ValueError("initial_temps_k must be a flat per-core vector")
             temps = np.broadcast_to(initial, (batch, self.num_cores)).copy()
         for _ in range(self.leakage_iterations + 1):
-            active_leak = (
-                self.power_model.leakage.nominal_w
-                * leak_scale[None, :]
-                * self.power_model.leakage.temperature_factor(temps)
+            active_leak = nominal_scaled * self.power_model.leakage.temperature_factor(
+                temps
             )
             leak = np.where(powered_on, active_leak, gated)
             temps = self._baseline[None, :] + (dyn + leak) @ self.influence.T

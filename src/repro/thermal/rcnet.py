@@ -11,6 +11,13 @@ diagonal ambient coupling, so steady state solves
 ``(A + diag(g_amb)) * (T - T_amb) = P_nodes`` and the transient follows
 ``C dT/dt = P - (A + diag(g_amb)) (T - T_amb)`` integrated with backward
 Euler (unconditionally stable, so DTM-scale steps are safe).
+
+The expensive derived state — the system Cholesky, per-``dt`` step
+factorizations, the influence kernel, and the zero-power baseline —
+depends only on (floorplan geometry, :class:`ThermalConfig`), so it is
+shared process-wide through :mod:`repro.thermal.cache`: constructing the
+thousandth network of a campaign reuses the first one's factorizations
+bit for bit.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from scipy import linalg
 
 from repro.floorplan import Floorplan
 from repro.obs import get_registry
+from repro.thermal.cache import ThermalEntry, get_thermal_cache
 from repro.thermal.config import ThermalConfig
 from repro.util.validation import check_positive
 
@@ -40,12 +48,15 @@ class ThermalRCNetwork:
         self.config = config if config is not None else ThermalConfig()
         self.num_cores = floorplan.num_cores
         self.num_nodes = 2 * self.num_cores + 1
-        self._build()
+        self._entry = get_thermal_cache().entry(
+            floorplan, self.config, self._build_entry
+        )
 
     # ------------------------------------------------------------------
     # network construction
     # ------------------------------------------------------------------
-    def _build(self) -> None:
+    def _build_entry(self) -> ThermalEntry:
+        """Assemble and factorize the network (the cache-miss path)."""
         cfg = self.config
         n = self.num_cores
         core = self.floorplan.core
@@ -94,10 +105,10 @@ class ThermalRCNetwork:
         g_ambient = np.zeros(self.num_nodes)
         g_ambient[sink] = g_sink_amb
 
-        self._system = laplacian + np.diag(g_ambient)
+        system = laplacian + np.diag(g_ambient)
         # Cholesky of the SPD system matrix: reused by every steady-state
         # solve and by the influence-matrix computation.
-        self._system_cho = linalg.cho_factor(self._system)
+        system_cho = linalg.cho_factor(system)
         get_registry().inc("thermal.factorizations")
 
         capacitance = np.empty(self.num_nodes)
@@ -106,12 +117,43 @@ class ThermalRCNetwork:
             cfg.copper_volumetric_heat * area_m2 * cfg.spreader_thickness_m
         )
         capacitance[sink] = cfg.sink_heat_capacity_j_per_k
-        self.capacitance = capacitance
+
+        # Constant part of the node-power vector: uncore heat (shared
+        # L2/NoC) enters the spreader layer uniformly — no per-core
+        # structure, just a hotter baseline.
+        node_power_base = np.zeros(self.num_nodes)
+        if cfg.uncore_power_w > 0:
+            node_power_base[n : 2 * n] = cfg.uncore_power_w / n
+
+        return ThermalEntry(
+            num_cores=n,
+            num_nodes=self.num_nodes,
+            system=system,
+            system_cho=system_cho,
+            capacitance=capacitance,
+            node_power_base=node_power_base,
+        )
+
+    # ------------------------------------------------------------------
+    # cached views
+    # ------------------------------------------------------------------
+    @property
+    def _system(self) -> np.ndarray:
+        return self._entry.system
+
+    @property
+    def _system_cho(self):
+        return self._entry.system_cho
+
+    @property
+    def capacitance(self) -> np.ndarray:
+        """Per-node heat capacities (J/K); shared and read-only."""
+        return self._entry.capacitance
 
     # ------------------------------------------------------------------
     # solvers
     # ------------------------------------------------------------------
-    def _node_power(self, core_power_w: np.ndarray) -> np.ndarray:
+    def _check_core_power(self, core_power_w: np.ndarray) -> np.ndarray:
         core_power_w = np.asarray(core_power_w, dtype=float)
         if core_power_w.shape != (self.num_cores,):
             raise ValueError(
@@ -120,15 +162,19 @@ class ThermalRCNetwork:
             )
         if (core_power_w < 0).any():
             raise ValueError("core powers must be non-negative")
-        p = np.zeros(self.num_nodes)
-        p[: self.num_cores] = core_power_w
-        if self.config.uncore_power_w > 0:
-            # Uncore heat (shared L2/NoC) enters the spreader layer
-            # uniformly — no per-core structure, just a hotter baseline.
-            p[self.num_cores : 2 * self.num_cores] += (
-                self.config.uncore_power_w / self.num_cores
-            )
-        return p
+        return core_power_w
+
+    def _node_power_into(
+        self, core_power_w: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Fill ``out`` with the all-nodes power vector (no allocation)."""
+        core_power_w = self._check_core_power(core_power_w)
+        np.copyto(out, self._entry.node_power_base)
+        out[: self.num_cores] = core_power_w
+        return out
+
+    def _node_power(self, core_power_w: np.ndarray) -> np.ndarray:
+        return self._node_power_into(core_power_w, np.empty(self.num_nodes))
 
     def steady_state(self, core_power_w: np.ndarray) -> np.ndarray:
         """Steady-state core junction temperatures (K) for fixed powers."""
@@ -142,18 +188,67 @@ class ThermalRCNetwork:
         rise = linalg.cho_solve(self._system_cho, self._node_power(core_power_w))
         return self.config.ambient_k + rise
 
+    def steady_state_batch(self, core_power_w: np.ndarray) -> np.ndarray:
+        """Steady-state core temperatures for many power vectors at once.
+
+        ``core_power_w`` is ``(batch, num_cores)``; one stacked-RHS
+        triangular solve replaces ``batch`` sequential solves (the same
+        factorization serves them all).  Returns the matching
+        ``(batch, num_cores)`` temperature matrix.
+        """
+        core_power_w = np.asarray(core_power_w, dtype=float)
+        if core_power_w.ndim != 2 or core_power_w.shape[1] != self.num_cores:
+            raise ValueError(
+                f"core_power_w must have shape (batch, {self.num_cores}), "
+                f"got {core_power_w.shape}"
+            )
+        if (core_power_w < 0).any():
+            raise ValueError("core powers must be non-negative")
+        batch = core_power_w.shape[0]
+        get_registry().inc("thermal.steady_solves", batch)
+        rhs = np.empty((self.num_nodes, batch))
+        rhs[:] = self._entry.node_power_base[:, None]
+        rhs[: self.num_cores, :] = core_power_w.T
+        rises = linalg.cho_solve(self._system_cho, rhs, check_finite=False)
+        return self.config.ambient_k + rises[: self.num_cores, :].T
+
     def influence_matrix(self) -> np.ndarray:
         """``(num_cores, num_cores)`` steady-state influence matrix ``K``.
 
         ``T_cores = T_amb + K @ p_cores`` exactly (for this linear
         network).  Column ``j`` is the temperature-rise fingerprint of
         1 W injected at core ``j`` — the "spatial thermal profile" the
-        online predictor of [27] superposes.
+        online predictor of [27] superposes.  Probed once per cache
+        entry and shared (read-only) afterwards.
         """
+        return get_thermal_cache().lazy_field(
+            self._entry, "influence", self._probe_influence
+        )
+
+    def _probe_influence(self) -> np.ndarray:
         unit = np.zeros((self.num_nodes, self.num_cores))
         unit[: self.num_cores, :] = np.eye(self.num_cores)
         rises = linalg.cho_solve(self._system_cho, unit)
         return rises[: self.num_cores, :]
+
+    def zero_power_baseline(self) -> np.ndarray:
+        """Steady-state core temperatures with every core at zero power.
+
+        Ambient for a plain network; hotter when constant uncore heat
+        shifts the whole operating point.  This is the predictor's
+        zero-power operating point, solved once per cache entry.
+        """
+        rise = get_thermal_cache().lazy_field(
+            self._entry, "baseline_rise", self._solve_baseline_rise
+        )
+        return self.config.ambient_k + rise
+
+    def _solve_baseline_rise(self) -> np.ndarray:
+        get_registry().inc("thermal.steady_solves")
+        rise = linalg.cho_solve(
+            self._system_cho, self._node_power(np.zeros(self.num_cores))
+        )
+        return rise[: self.num_cores]
 
     def initial_temperatures(self) -> np.ndarray:
         """All-nodes temperature vector for a cold (ambient) start."""
@@ -168,19 +263,40 @@ class ThermalRCNetwork:
 class TransientIntegrator:
     """Backward-Euler integrator over the RC network with a fixed step.
 
-    The step matrix ``(C/dt + A)`` is factorized once, so advancing the
-    network costs one triangular solve per step regardless of how the
-    power vector changes between steps.
+    The step matrix ``(C/dt + A)`` is factorized once per (network
+    geometry, ``dt``) — process-wide, through the thermal compute cache —
+    so advancing the network costs one triangular solve per step
+    regardless of how the power vector changes between steps.  The
+    node-power and RHS scratch vectors are preallocated: stepping
+    allocates only the returned temperature vector.
     """
 
     def __init__(self, network: ThermalRCNetwork, dt_s: float):
         self.network = network
         self.dt_s = check_positive("dt_s", dt_s)
-        c_over_dt = network.capacitance / self.dt_s
-        self._c_over_dt = c_over_dt
-        self._step_cho = linalg.cho_factor(network._system + np.diag(c_over_dt))
+        self._step_cho, self._c_over_dt = get_thermal_cache().step_factor(
+            network._entry, self.dt_s, self._factorize_step
+        )
         self._ambient = network.config.ambient_k
+        self._p_buf = np.empty(network.num_nodes)
+        self._rhs_buf = np.empty(network.num_nodes)
+
+    def _factorize_step(self):
+        network = self.network
+        c_over_dt = network.capacitance / self.dt_s
+        step_cho = linalg.cho_factor(network._system + np.diag(c_over_dt))
         get_registry().inc("thermal.factorizations")
+        return step_cho, c_over_dt
+
+    def _advance(self, temps_all_nodes: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """One backward-Euler step given a prepared node-power vector."""
+        rhs = self._rhs_buf
+        np.subtract(temps_all_nodes, self._ambient, out=rhs)
+        rhs *= self._c_over_dt
+        rhs += p
+        new_rise = linalg.cho_solve(self._step_cho, rhs, check_finite=False)
+        new_rise += self._ambient
+        return new_rise
 
     def step(self, temps_all_nodes: np.ndarray, core_power_w: np.ndarray) -> np.ndarray:
         """Advance one ``dt`` and return the new all-nodes temperatures."""
@@ -188,11 +304,8 @@ class TransientIntegrator:
         if temps_all_nodes.shape != (self.network.num_nodes,):
             raise ValueError("temps_all_nodes has wrong shape")
         get_registry().inc("thermal.transient_steps")
-        p = self.network._node_power(core_power_w)
-        rise = temps_all_nodes - self._ambient
-        rhs = p + self._c_over_dt * rise
-        new_rise = linalg.cho_solve(self._step_cho, rhs)
-        return self._ambient + new_rise
+        p = self.network._node_power_into(core_power_w, self._p_buf)
+        return self._advance(temps_all_nodes, p)
 
     def run(
         self,
@@ -200,12 +313,22 @@ class TransientIntegrator:
         core_power_w: np.ndarray,
         num_steps: int,
     ) -> np.ndarray:
-        """Advance ``num_steps`` with a constant power vector."""
+        """Advance ``num_steps`` with a constant power vector.
+
+        The node-power vector is assembled once for the whole run — the
+        power is constant across the loop, so only the triangular solve
+        repeats.
+        """
         if num_steps < 0:
             raise ValueError("num_steps must be >= 0")
         temps = np.asarray(temps_all_nodes, dtype=float).copy()
+        if num_steps == 0:
+            return temps
+        p = self.network._node_power_into(core_power_w, self._p_buf)
+        registry = get_registry()
         for _ in range(num_steps):
-            temps = self.step(temps, core_power_w)
+            registry.inc("thermal.transient_steps")
+            temps = self._advance(temps, p)
         return temps
 
     def core_temperatures(self, temps_all_nodes: np.ndarray) -> np.ndarray:

@@ -11,6 +11,8 @@ boundary exactly.
 
 from __future__ import annotations
 
+import bisect
+
 import numpy as np
 
 from repro.util.validation import check_positive
@@ -75,7 +77,10 @@ class PhaseTrace:
         if time_s < 0:
             raise ValueError("time must be non-negative")
         self._extend_to(time_s)
-        index = int(np.searchsorted(self._boundaries, time_s, side="right")) - 1
+        # bisect_right == searchsorted(side="right") on the same floats,
+        # without converting the boundary list to an array per call —
+        # this runs per mapped core per control step.
+        index = bisect.bisect_right(self._boundaries, time_s) - 1
         return self._levels[index]
 
     def mean_over(self, start_s: float, end_s: float) -> float:

@@ -83,7 +83,12 @@ class TestTraceSmoke:
         _, snapshot = traced_campaign
         assert snapshot.counter("thermal.coupled_solves") > 0
         assert snapshot.counter("thermal.transient_steps") > 0
-        assert snapshot.counter("thermal.factorizations") > 0
+        # run_campaign pre-warms the thermal compute cache (outside the
+        # registry), so jobs record reuse, not factorization work: the
+        # hit count grows with (chips x policies x epochs) while the
+        # factorization count stays flat — 0 here.
+        assert snapshot.counter("thermal.cache_hits") > 0
+        assert snapshot.counter("thermal.factorizations") == 0
         # Every coupled solve performs at least one steady solve per
         # Picard iteration.
         assert (
