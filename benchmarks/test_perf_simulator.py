@@ -50,6 +50,41 @@ def test_perf_one_epoch(chip_and_table, benchmark):
     assert benchmark.stats["mean"] < 2.0
 
 
+def _bench_arrivals(epoch, window_s, rng):
+    """Sparse Poisson arrivals: a handful of segment splits per window."""
+    from repro.workload import poisson_arrivals
+
+    return poisson_arrivals(
+        window_s, mean_interarrival_s=20.0, rng=rng, threads_per_app=(1, 2)
+    )
+
+
+def test_perf_window_dominated(chip_and_table, benchmark):
+    """A long transient window with mid-epoch arrivals.
+
+    The regime the fused window engine targets: most of the epoch's cost
+    is window steps (120 of them), mostly quiet, split into segments by
+    a few arrivals.  The plain ``test_perf_one_epoch`` keeps the
+    decision/settle phases in the mix; this one isolates window
+    throughput.
+    """
+    chip, table = chip_and_table
+    cfg = SimulationConfig(
+        lifetime_years=0.5, epoch_years=0.5, dark_fraction_min=0.5,
+        window_s=120.0, load_factor=0.6, seed=3,
+    )
+
+    def one_epoch():
+        ctx = ChipContext(chip, table, dark_fraction_min=0.5)
+        sim = LifetimeSimulator(cfg, arrivals_factory=_bench_arrivals)
+        return sim.run(ctx, HayatManager())
+
+    result = benchmark.pedantic(one_epoch, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result.epochs) == 1
+    assert result.epochs[0].arrivals > 0
+    assert benchmark.stats["mean"] < 2.0
+
+
 def test_perf_transient_step(chip_and_table, benchmark):
     """One backward-Euler step of the 129-node network."""
     chip, _ = chip_and_table

@@ -56,14 +56,44 @@ def _axis_weights(grid: np.ndarray, values: np.ndarray, spans: np.ndarray | None
     widths, one gather instead of two plus a subtraction.
     """
     values = np.minimum(np.maximum(values, grid[0]), grid[-1])
+    # After the clip every value is >= grid[0], so the right-bisection
+    # index is >= 1 and the lower clamp of the old ``np.clip(idx, 0, .)``
+    # was dead — only the upper clamp (values == grid[-1]) can bind.
     idx = np.searchsorted(grid, values, side="right") - 1
-    idx = np.minimum(np.maximum(idx, 0), len(grid) - 2)
+    idx = np.minimum(idx, len(grid) - 2)
     if spans is None:
         span = grid[idx + 1] - grid[idx]
     else:
         span = spans[idx]
     frac = (values - grid[idx]) / span
     return idx, frac
+
+
+def _sum_corners(stack: np.ndarray) -> np.ndarray:
+    """Left-to-right sum over the leading (corner) axis.
+
+    ``np.add.reduce`` over the outer axis accumulates the slices in
+    order — the same IEEE sequence as an explicit ``+=`` loop — as long
+    as each slice holds more than one element.  A degenerate batch
+    collapses to a contiguous 1-d reduction, where NumPy switches to
+    pairwise partial sums and changes the rounding order, so tiny
+    batches take the explicit loop instead (the kernel-count saving
+    only matters for large ones anyway).
+    """
+    if stack[0].size > 1:
+        return np.add.reduce(stack, axis=0)
+    out = stack[0]
+    for corner in range(1, stack.shape[0]):
+        out = out + stack[corner]
+    return out
+
+
+#: Absolute slack covering the floating-point rounding of a bilinear
+#: blend of values in (0, 1]: four products and three sums accumulate
+#: well under 10 ulps (~2.5e-15); 1e-12 leaves three orders of
+#: magnitude of safety while still pinning ambiguity to values that
+#: genuinely hug the queried health.
+_BLEND_MARGIN = 1e-12
 
 
 @dataclass
@@ -111,6 +141,52 @@ class AgingTable:
         self._temp_spans = np.diff(self.temp_grid_k)
         self._duty_spans = np.diff(self.duty_grid)
         self._age_spans = np.diff(self.age_grid_years)
+        if self._age_monotone:
+            # Per-curve count tables for the inverse lookup:
+            # ``_edge_counts[r, q]`` = number of age columns of curve
+            # ``r`` whose health strictly exceeds ``_count_edges[q]``.
+            # A blended (convex-combination) curve's count lies between
+            # the min and max of its four corner-curve counts, giving
+            # :meth:`_ages_located` a bracket without sampling the
+            # blend.  With the edge set equal to every distinct stored
+            # value, no curve crosses a threshold strictly inside a
+            # bucket, so the gathered counts are the *exact* per-corner
+            # counts at the queried health; huge tables fall back to a
+            # dyadic grid whose bounds are looser but still valid (a
+            # bucket's lower/upper edges bound the counts inside it).
+            n_rows = self._values2d.shape[0]
+            edges = np.unique(self._values2d)
+            exact = n_rows * (edges.size + 2) <= 2_000_000
+            if not exact:
+                edges = np.arange(1, 257) / 256.0
+            # Column q of the count table corresponds to threshold
+            # ``edges[q - 1]`` with column 0 an implicit ``-inf`` (all
+            # columns exceed), so a right-bisection of ``edges`` indexes
+            # it directly — no ``- 1`` correction kernels in the hot
+            # path.  The trailing sentinel column covers thresholds
+            # above the top edge: nothing exceeds.
+            with_inf = np.concatenate(([-np.inf], edges))
+            counts = np.empty((n_rows, edges.size + 2), dtype=np.intp)
+            for row, curve in enumerate(self._values2d):
+                ascending = np.sort(curve)
+                counts[row, :-1] = n_y - np.searchsorted(
+                    ascending, with_inf, side="right"
+                )
+            counts[:, -1] = 0
+            self._count_edges = edges
+            self._edge_counts = counts
+            self._counts_exact = exact
+            # Length of each curve's leading constant run — lets the
+            # inverse lookup resolve a whole ambiguous span with one
+            # blend sample when every participating corner is flat
+            # across it (see :meth:`_ages_located`).
+            neq = self._values2d != self._values2d[:, :1]
+            self._flat_prefix = np.where(neq.any(axis=1), neq.argmax(axis=1), n_y)
+        # Combined (T, d) x age corner offsets for the forward trilinear
+        # gather: one broadcast add instead of three.
+        self._corner_offsets = np.array(
+            [0, n_y, n_d * n_y, (n_d + 1) * n_y], dtype=np.intp
+        ).reshape(4, 1) + np.array([0, 1], dtype=np.intp)
 
     @property
     def max_age_years(self) -> float:
@@ -132,44 +208,58 @@ class AgingTable:
         iy, fy = _axis_weights(self.age_grid_years, age_years, self._age_spans)
         return self._health_located(it, ft, idx_d, fd, iy, fy)
 
-    def _health_located(self, it, ft, idx_d, fd, iy, fy) -> np.ndarray:
+    def _health_located(self, it, ft, idx_d, fd, iy, fy, wtd=None, base0=None) -> np.ndarray:
         """Trilinear blend from pre-located axis positions.
 
-        The eight corners are gathered from the flat value array at a
-        shared base offset — the same elements, and the same
-        ``((wt*wd)*wy)*corner`` product and accumulation order, as the
-        original 3D fancy-indexing form, so results are bit-identical.
+        The eight corners are gathered from the flat value array in one
+        fancy index of shape ``(4, 2) + batch`` — (T, d) corner major,
+        age corner minor — matching, element for element, the corner
+        order of the original 3D fancy-indexing form.  The weight tensor
+        is the outer product of the bilinear (T, d) corner weights with
+        ``(1-fy, fy)``: each entry is the very ``(wt*wd)*wy`` product
+        the unstacked loop computed, and ``np.add.reduce`` over the
+        flattened corner axis (length 8, below NumPy's pairwise block)
+        accumulates left to right — the identical IEEE product-and-sum
+        sequence, so results are bit-identical.  ``wtd`` may carry the
+        stacked (T, d) weights from :meth:`_corner_weights`, computed
+        once and shared with the inverse lookup.
         """
         n_y = len(self.age_grid_years)
-        base = it * self._row_stride + idx_d * n_y + iy
-        # All eight corners in one gather — corner axis first (each
-        # ``corners[k]`` is then a contiguous batch row), corner order
-        # matching the (dt, dd, dy) loop nest below.
-        offsets = np.array(
-            [
-                0,
-                1,
-                n_y,
-                n_y + 1,
-                self._row_stride,
-                self._row_stride + 1,
-                self._row_stride + n_y,
-                self._row_stride + n_y + 1,
-            ],
-            dtype=np.intp,
-        ).reshape((8,) + (1,) * base.ndim)
-        corners = self._values_flat[offsets + base]
-        out = np.zeros(it.shape)
-        corner = 0
-        for dt in (0, 1):
-            wt = (1.0 - ft) if dt == 0 else ft
-            for dd in (0, 1):
-                wtd = wt * ((1.0 - fd) if dd == 0 else fd)
-                for dy in (0, 1):
-                    wy = (1.0 - fy) if dy == 0 else fy
-                    out += (wtd * wy) * corners[corner]
-                    corner += 1
-        return out
+        n_d = len(self.duty_grid)
+        shape = np.shape(iy)
+        nd = len(shape)
+        if base0 is None:
+            base0 = (it * n_d + idx_d) * n_y
+        base = base0 + iy
+        # (T, d) corner offsets crossed with the two age columns: one
+        # gather of all eight corners, contiguous in the corner-major
+        # order the weights below follow.
+        offsets = self._corner_offsets.reshape((4, 2) + (1,) * nd)
+        corners = self._values_flat[base + offsets]
+        if wtd is None:
+            wtd = self._corner_weights(ft, fd)
+        omy = 1.0 - fy
+        wy = np.stack([omy, fy])
+        weights = wtd[:, None, ...] * wy[None, ...]
+        corners *= weights
+        return _sum_corners(corners.reshape((8,) + shape))
+
+    def _corner_weights(self, ft, fd) -> np.ndarray:
+        """Stacked bilinear (T, d) corner weights, shape ``(4,) + batch``.
+
+        Row order (00, 01, 10, 11) matches both the corner-row order of
+        :meth:`_ages_located` and the ``wtd``-major nest of
+        :meth:`_health_located`; each row holds the same ``(1-ft)...``
+        product the unstacked expressions computed, so sharing the array
+        between lookups changes no bits.
+        """
+        omt, omd = 1.0 - ft, 1.0 - fd
+        weights = np.empty((4,) + np.shape(ft))
+        np.multiply(omt, omd, out=weights[0, ...])
+        np.multiply(omt, fd, out=weights[1, ...])
+        np.multiply(ft, omd, out=weights[2, ...])
+        np.multiply(ft, fd, out=weights[3, ...])
+        return weights
 
     # ------------------------------------------------------------------
     # inverse lookup (the "current position in the 3D table")
@@ -202,65 +292,138 @@ class AgingTable:
         )
         return curves
 
-    def _ages_located(self, it, ft, idx_d, fd, health_b) -> np.ndarray:
+    def _corner_rows(self, it, idx_d):
+        """Stacked (4, batch) corner row indices and flat base offsets.
+
+        Row order (00, 01, 10, 11) matches :meth:`_corner_weights`.
+        """
+        n_d = len(self.duty_grid)
+        rows = np.empty((4,) + np.shape(it), dtype=np.intp)
+        rows[0] = it * n_d + idx_d
+        rows[1] = rows[0] + 1
+        rows[2] = rows[0] + n_d
+        rows[3] = rows[2] + 1
+        return rows, rows * len(self.age_grid_years)
+
+    def _ages_located(
+        self, it, ft, idx_d, fd, health_b, weights=None, rows=None, bases=None
+    ) -> np.ndarray:
         """Inverse age lookup from pre-located (T, d) positions.
 
-        For monotone tables the bracketing segment is found by bisecting
-        the blended curve — ~log2(n_y) single-column blends instead of
-        materializing the full ``(batch, n_y)`` curve matrix.  Each
-        blended sample and the final interpolation reproduce, element
-        for element, the products and sums of the full-curve path, and
-        the prefix property of non-increasing curves makes the bisected
-        segment index equal the exhaustive comparison count — so results
-        are bit-identical to :meth:`_ages_on_curves`.
+        For monotone tables the exhaustive ``(batch, n_y)`` curve
+        comparison is replaced by precomputed per-corner count tables
+        that bracket the blended curve's crossing, plus a handful of
+        single-column blend samples for the residual ambiguous columns
+        (see the inline commentary).  Each blended sample and the final
+        interpolation reproduce, element for element, the products and
+        sums of the full-curve path, so results are bit-identical to
+        :meth:`_ages_on_curves`.  ``weights``, ``rows``, and ``bases``
+        may carry the stacked corner weights
+        (:meth:`_corner_weights`) and corner row/offset indices
+        (:meth:`_corner_rows`) so a caller that also performs the
+        forward read computes them once.
         """
         if not self._age_monotone:
             curves = self._curves_located(it, ft, idx_d, fd)
             return self._ages_on_curves(curves, health_b)
         n_y = len(self.age_grid_years)
-        n_d = len(self.duty_grid)
         flat = self._values_flat
-        base = (it * n_d + idx_d) * n_y
-        # Flat start offsets of the four corner curves, stacked so each
-        # blend sample is one gather of shape (4, batch).
-        bases = np.empty((4, base.shape[0]), dtype=np.intp)
-        bases[0] = base
-        bases[1] = base + n_y
-        bases[2] = base + n_d * n_y
-        bases[3] = bases[2] + n_y
-        omt, omd = 1 - ft, 1 - fd
-        w00, w01, w10, w11 = omt * omd, omt * fd, ft * omd, ft * fd
+        batch = it.shape[0]
+        if rows is None:
+            rows, bases = self._corner_rows(it, idx_d)
+        # Bilinear corner weights stacked (4, batch): one in-place
+        # (4, batch) product per blend replaces four per-corner
+        # products; per element the multiply and the left-to-right
+        # accumulation are the same IEEE ops as the unstacked
+        # ``w00*g0 + w01*g1 + w10*g2 + w11*g3`` expression.
+        if weights is None:
+            weights = self._corner_weights(ft, fd)
 
-        def blend(col):
-            # One column of the bilinear (T, d) curve blend; same
-            # per-element products and left-to-right sum as the
-            # full-matrix expression.
-            g = flat[bases + col]
-            return w00 * g[0] + w01 * g[1] + w10 * g[2] + w11 * g[3]
-
-        # count = first age index whose blended health is <= the target;
-        # fixed ceil(log2(n_y + 1)) rounds narrow [lo_b, hi_b] to it.
-        lo_b = np.zeros(it.shape, dtype=np.intp)
-        hi_b = np.full(it.shape, n_y, dtype=np.intp)
-        for _ in range(int(np.ceil(np.log2(n_y + 1)))):
-            active = lo_b < hi_b
-            mid = (lo_b + hi_b) >> 1
-            gt = blend(np.minimum(mid, n_y - 1)) > health_b
-            sel_gt = active & gt
-            np.putmask(hi_b, active ^ sel_gt, mid)  # active rows with <=
-            mid += 1
-            np.putmask(lo_b, sel_gt, mid)
-        count = lo_b
+        # count = number of age columns whose blended health strictly
+        # exceeds the target.  The count tables (see __post_init__)
+        # split the columns rigorously, *including* floating-point
+        # rounding of the blend itself: a blend is a convex combination
+        # of its four corner values, computed with a handful of IEEE
+        # products and sums, so it lies within ``_BLEND_MARGIN`` of the
+        # corner interval.  Columns where even the max corner stays
+        # below ``h - margin`` can never exceed ``h``; columns where the
+        # min corner exceeds ``h + margin`` always do (for non-
+        # increasing curves those are exactly the first ``min corner
+        # count at h + margin`` columns).  Only the residual ambiguous
+        # columns — corner values hugging the target, e.g. pristine
+        # health 1.0 against the flat start of every curve — are
+        # sampled, with the very IEEE products and left-to-right sums
+        # of the full-curve blend, so the count is bit-identical to
+        # :meth:`_ages_on_curves`.  Corners mostly agree, so the bulk
+        # of a batch needs no sample at all or a single vectorized
+        # comparison, and only genuine corner disagreement — a
+        # near-dead hot corner next to a pristine cool one —
+        # materializes its few full curves.
+        margin = _BLEND_MARGIN
+        edges = self._count_edges
+        counts = self._edge_counts
+        # Right-bisection of the sentinel-free edge array indexes the
+        # count table directly (column 0 is the implicit ``-inf``).
+        b_sure = np.searchsorted(edges, health_b + margin, side="right")
+        b_maybe = np.searchsorted(edges, health_b - margin, side="right")
+        if not self._counts_exact:
+            # Dyadic buckets: the stored edges bracket the in-bucket
+            # counts, so take the conservative side of each bucket.
+            b_sure += 1
+        # Zero-weight corners contribute an exact ``+0.0`` to the blend
+        # (their values never matter bit-for-bit), so they are excluded
+        # from the bounds.  That keeps e.g. dark cores — duty exactly 0,
+        # whose other duty corner would otherwise drag in an unrelated
+        # curve — tightly bracketed by the curves actually blended.
+        pos = weights > 0.0
+        lo_b = np.where(pos, counts[rows, b_sure], n_y).min(axis=0)
+        hi_b = np.where(pos, counts[rows, b_maybe], 0).max(axis=0)
+        gap = hi_b - lo_b
+        # A positive corner that is constant over the ambiguous columns
+        # (all inside its leading flat run) contributes the same addend
+        # to every one of those blends; when all positive corners are,
+        # the whole span shares one blended value — one sample decides
+        # every ambiguous column at once.  A gap of one column is the
+        # trivial span; the classic non-trivial case is a flat duty-0
+        # curve against pristine health, ambiguous across the entire
+        # age axis yet a single comparison.  The sample is taken for
+        # the whole batch (gap-0 elements add ``gap == 0`` regardless
+        # of the comparison, and the column clamp only ever binds for
+        # them) — cheaper than the subset gathers it replaces when, as
+        # in Algorithm 1's scoring batches, most elements are ambiguous.
+        flat_floor = np.where(pos, self._flat_prefix[rows], n_y).min(axis=0)
+        one_sample = (gap <= 1) | (hi_b <= flat_floor)
+        g = flat[bases + np.minimum(lo_b, n_y - 1)]
+        g *= weights
+        acc = _sum_corners(g)
+        count = lo_b + np.where((acc > health_b) & one_sample, gap, 0)
+        wide = np.flatnonzero(~one_sample)
+        if wide.size:
+            # Genuine corner disagreement over a sloped stretch — e.g. a
+            # near-dead hot corner next to a pristine cool one — falls
+            # back to materializing those few full curves.
+            g = self._values2d[rows[:, wide]]
+            g *= weights[:, wide, None]
+            acc = _sum_corners(g)
+            count[wide] = np.count_nonzero(acc > health_b[wide, None], axis=1)
         lo = np.minimum(np.maximum(count - 1, 0), n_y - 2)
-        h_lo = blend(lo)
-        h_hi = blend(lo + 1)  # smaller or equal to h_lo
+        # Both bracketing columns in one stacked gather/blend — the
+        # same samples blend(lo) and blend(lo + 1) would produce.
+        cols = np.empty((2, batch), dtype=np.intp)
+        cols[0] = lo
+        np.add(lo, 1, out=cols[1])
+        g = flat[bases[:, None, :] + cols]
+        g *= weights[:, None, :]
+        acc = _sum_corners(g)
+        h_lo, h_hi = acc[0], acc[1]  # h_hi smaller or equal to h_lo
         span = h_lo - h_hi
-        with np.errstate(divide="ignore", invalid="ignore"):
-            frac = np.where(span > 0, (h_lo - health_b) / span, 0.0)
-        frac = np.clip(frac, 0.0, 1.0)
-        ages = self.age_grid_years[lo] + frac * (
-            self.age_grid_years[lo + 1] - self.age_grid_years[lo]
-        )
+        # Masked divide instead of errstate + where: zero-span segments
+        # keep the 0.0 fill, dividing elements produce the identical
+        # quotient, and the invalid operation never executes.
+        frac = np.zeros(batch)
+        np.divide(h_lo - health_b, span, out=frac, where=span > 0)
+        frac = np.minimum(np.maximum(frac, 0.0), 1.0)
+        ages = self.age_grid_years[lo] + frac * self._age_spans[lo]
         ages = np.where(count == 0, 0.0, ages)
         ages = np.where(count == n_y, self.max_age_years, ages)
         return ages
@@ -298,10 +461,13 @@ class AgingTable:
         health = np.atleast_1d(np.asarray(health, dtype=float))
         temp_k = np.atleast_1d(np.asarray(temp_k, dtype=float))
         duty = np.atleast_1d(np.asarray(duty, dtype=float))
-        temp_k, duty = np.broadcast_arrays(temp_k, duty)
+        if temp_k.shape != duty.shape:
+            temp_k, duty = np.broadcast_arrays(temp_k, duty)
         it, ft = _axis_weights(self.temp_grid_k, temp_k, self._temp_spans)
         idx_d, fd = _axis_weights(self.duty_grid, duty, self._duty_spans)
-        health_b = np.broadcast_to(health, it.shape)
+        health_b = health if health.shape == it.shape else np.broadcast_to(
+            health, it.shape
+        )
         return self._ages_located(it, ft, idx_d, fd, health_b)
 
     def next_health(self, temp_k, duty, current_health, epoch_years) -> np.ndarray:
@@ -321,17 +487,27 @@ class AgingTable:
             raise ValueError("epoch_years must be non-negative")
         temp_b = np.atleast_1d(np.asarray(temp_k, dtype=float))
         duty_b = np.atleast_1d(np.asarray(duty, dtype=float))
-        temp_b, duty_b = np.broadcast_arrays(temp_b, duty_b)
+        if temp_b.shape != duty_b.shape:
+            temp_b, duty_b = np.broadcast_arrays(temp_b, duty_b)
         it, ft = _axis_weights(self.temp_grid_k, temp_b, self._temp_spans)
         idx_d, fd = _axis_weights(self.duty_grid, duty_b, self._duty_spans)
         health = np.atleast_1d(np.asarray(current_health, dtype=float))
-        health_b = np.broadcast_to(health, it.shape)
-        ages = self._ages_located(it, ft, idx_d, fd, health_b)
-        iy, fy = _axis_weights(self.age_grid_years, ages + epoch_years, self._age_spans)
-        new_health = self._health_located(it, ft, idx_d, fd, iy, fy)
+        health_b = health if health.shape == it.shape else np.broadcast_to(
+            health, it.shape
+        )
+        weights = self._corner_weights(ft, fd)
+        rows, bases = self._corner_rows(it, idx_d)
+        ages = self._ages_located(
+            it, ft, idx_d, fd, health_b, weights, rows, bases
+        )
+        ages += epoch_years
+        iy, fy = _axis_weights(self.age_grid_years, ages, self._age_spans)
+        new_health = self._health_located(
+            it, ft, idx_d, fd, iy, fy, weights, bases[0]
+        )
         # Health is monotone non-increasing under additional stress; the
         # clamp guards interpolation wiggle at segment boundaries.
-        return np.minimum(new_health, np.atleast_1d(current_health))
+        return np.minimum(new_health, health_b)
 
     def save(self, path: str) -> None:
         """Persist to an ``.npz`` file."""

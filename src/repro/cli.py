@@ -61,6 +61,14 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
             "bit-identical either way; use to time the uncached path)"
         ),
     )
+    parser.add_argument(
+        "--no-fused-window",
+        action="store_true",
+        help=(
+            "run the transient window step by step instead of through the "
+            "fused segment engine (results are bit-identical either way)"
+        ),
+    )
 
 
 def _start_observability(args):
@@ -176,7 +184,7 @@ def _cmd_simulate(args) -> int:
     table = default_aging_table()
     config = SimulationConfig(
         lifetime_years=args.years, dark_fraction_min=args.dark, window_s=10.0,
-        seed=args.seed,
+        seed=args.seed, fused_window=not args.no_fused_window,
     )
     policy = POLICIES[args.policy]()
     print(f"Simulating {chip.chip_id} under {policy.name} for {args.years} years...")
@@ -214,7 +222,7 @@ def _cmd_simulate(args) -> int:
 def _cmd_campaign(args) -> int:
     config = SimulationConfig(
         lifetime_years=args.years, dark_fraction_min=args.dark, window_s=10.0,
-        seed=args.seed,
+        seed=args.seed, fused_window=not args.no_fused_window,
     )
     print(
         f"Campaign: {args.chips} chips x {args.years} years x "
@@ -295,7 +303,8 @@ def _cmd_sweep(args) -> int:
     from repro.sim import SimulationConfig, sweep_dark_fractions
 
     config = SimulationConfig(
-        lifetime_years=args.years, window_s=10.0, seed=args.seed
+        lifetime_years=args.years, window_s=10.0, seed=args.seed,
+        fused_window=not args.no_fused_window,
     )
     print(
         f"Sweeping dark floors {args.fractions} over {args.chips} chips..."

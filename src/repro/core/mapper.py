@@ -118,11 +118,11 @@ class HayatMapper:
         # seeded from whatever is already placed (incremental use).
         freq = state.freq_ghz
         activity = np.zeros(n)
-        assignment = state.assignment
+        assignment = state.assignment_view
         for core in np.flatnonzero(assignment >= 0):
             activity[core] = state.threads[assignment[core]].mean_activity
         duties = state.duty_vector()
-        powered = state.powered_on
+        powered = state.powered_view
 
         order = sorted(
             range(len(state.threads)),
@@ -131,11 +131,20 @@ class HayatMapper:
         )
         unmapped: list[int] = []
 
+        # Candidate matrices are built in preallocated (n, n) buffers —
+        # each thread's batch fills the leading rows instead of cutting
+        # three fresh broadcast copies (values are identical; only the
+        # storage is reused).
+        freq_buf = np.empty((n, n))
+        act_buf = np.empty((n, n))
+        duty_buf = np.empty((n, n))
+        all_rows = np.arange(n)
+
         for thread_index in order:
             if state.core_of_thread(thread_index) >= 0:
                 continue  # already placed (incremental/mid-epoch use)
             thread = state.threads[thread_index]
-            idle = powered & (state.assignment < 0)
+            idle = powered & (assignment < 0)
             feasible = idle & (fmax_now_ghz >= thread.fmin_ghz)
             candidates = np.flatnonzero(feasible)
             if candidates.size == 0:
@@ -148,10 +157,13 @@ class HayatMapper:
                 continue
 
             batch = candidates.size
-            freq_b = np.broadcast_to(freq, (batch, n)).copy()
-            act_b = np.broadcast_to(activity, (batch, n)).copy()
-            duty_b = np.broadcast_to(duties, (batch, n)).copy()
-            rows = np.arange(batch)
+            freq_b = freq_buf[:batch]
+            act_b = act_buf[:batch]
+            duty_b = duty_buf[:batch]
+            freq_b[:] = freq
+            act_b[:] = activity
+            duty_b[:] = duties
+            rows = all_rows[:batch]
             freq_b[rows, candidates] = thread.fmin_ghz
             act_b[rows, candidates] = thread.mean_activity
             duty_b[rows, candidates] = thread.duty_cycle
@@ -162,19 +174,26 @@ class HayatMapper:
             )
             tmax = temps_b.max(axis=1)
             thermally_ok = tmax <= self.tsafe_k
-            if thermally_ok.any():
+            if thermally_ok.all():
+                # Common case: nothing to discard, so skip the fancy-
+                # indexed row copies (same rows, same values).
+                keep = all_rows[:batch]
+                temps_keep, duty_keep = temps_b, duty_b
+            elif thermally_ok.any():
                 keep = np.flatnonzero(thermally_ok)
+                temps_keep, duty_keep = temps_b[keep], duty_b[keep]
             else:
                 # Every placement overshoots; take the least-bad one and
                 # let DTM handle the consequences (the paper's naive-
                 # optimization fallback).
                 keep = np.array([int(np.argmin(tmax))])
+                temps_keep, duty_keep = temps_b[keep], duty_b[keep]
 
             health_b = self.estimator.estimate_next_health(
-                temps_b[keep], duty_b[keep], health_now, epoch_years
+                temps_keep, duty_keep, health_now, epoch_years
             )
             kept_cores = candidates[keep]
-            h_candidate_next = health_b[np.arange(len(keep)), kept_cores]
+            h_candidate_next = health_b[all_rows[: len(keep)], kept_cores]
             weights = self.weighting.weight(
                 fmax_now_ghz[kept_cores],
                 thread.fmin_ghz,

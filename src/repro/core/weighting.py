@@ -85,8 +85,11 @@ class WeightingFunction:
         fmax_ghz = np.asarray(fmax_ghz, dtype=float)
         required_ghz = np.asarray(required_ghz, dtype=float)
         gap = fmax_ghz - required_ghz
-        with np.errstate(divide="ignore"):
-            raw = np.where(gap > 0, alpha / np.maximum(gap, 1e-12), np.inf)
+        # Masked divide instead of errstate + where: closed-gap
+        # candidates keep the inf fill, open gaps divide exactly as the
+        # unmasked expression did.
+        raw = np.full(np.shape(gap), np.inf)
+        np.divide(alpha, np.maximum(gap, 1e-12), out=raw, where=gap > 0)
         return np.minimum(self.config.wmax, raw)
 
     def health_term(self, health_next, health_now, elapsed_years: float):

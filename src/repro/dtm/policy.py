@@ -48,6 +48,14 @@ class DTMPolicy:
         for thermal safety.
     """
 
+    #: Contract flag for the fused window engine: ``True`` means
+    #: :meth:`enforce` mutates state *only* when :meth:`would_act`
+    #: returns ``True``, so quiet steps may skip the enforcement pass
+    #: entirely.  Policies that can act without a measured trigger
+    #: (e.g. prediction-driven preemption) must override this to
+    #: ``False`` to force the step-by-step path.
+    supports_fused_windows = True
+
     def __init__(
         self,
         tsafe_k: float = T_SAFE_KELVIN,
@@ -84,46 +92,69 @@ class DTMPolicy:
             raise ValueError("temps_k must be a flat per-core vector")
         report = DTMReport()
 
-        self._recover_throttled(state, temps_k)
-        busy = state.assignment >= 0
+        self._recover_throttled(state, temps_k, fmax_ghz)
+        assignment = state.assignment_view
+        busy = assignment >= 0
         violating = np.flatnonzero(busy & (temps_k > self.tsafe_k))
         if violating.size == 0:
             return report
         order = violating[np.argsort(temps_k[violating])[::-1]]
-        claimed: set[int] = set()
+
+        # Eligibility shared by every violation this pass: idle, not
+        # fenced, below the headroom band.  Migrations only ever remove
+        # cores from this set (a claimed target turns busy; the vacated
+        # source sits above Tsafe and was never in it), so the mask is
+        # built once and cleared incrementally instead of re-scanning
+        # all cores per hot core.
+        free = (assignment < 0) & ~state.fenced_view & (temps_k < self.target_limit_k)
+        temps_or_inf = np.where(free, temps_k, np.inf)
 
         for hot_core in order:
-            thread = state.threads[state.assignment[hot_core]]
-            fenced = state.fenced
-            candidates = [
-                core
-                for core in range(state.num_cores)
-                if core != hot_core
-                and core not in claimed
-                and state.assignment[core] < 0
-                and not fenced[core]
-                and temps_k[core] < self.target_limit_k
-                and fmax_ghz[core] >= thread.fmin_ghz
-            ]
-            if candidates:
-                target = min(candidates, key=lambda c: temps_k[c])
-                state.migrate(int(hot_core), int(target))
-                claimed.add(target)
+            thread = state.threads[assignment[hot_core]]
+            cand = temps_or_inf.copy()
+            cand[fmax_ghz < thread.fmin_ghz] = np.inf
+            target = int(np.argmin(cand))
+            if np.isfinite(cand[target]):
+                state.migrate(int(hot_core), target)
+                temps_or_inf[target] = np.inf
                 report.migrations += 1
-                report.migrated_pairs.append((int(hot_core), int(target)))
+                report.migrated_pairs.append((int(hot_core), target))
             else:
-                new_freq = state.freq_ghz[hot_core] * self.throttle_factor
+                new_freq = float(state.freq_view[hot_core]) * self.throttle_factor
                 state.set_frequency(int(hot_core), new_freq, throttled=True)
                 report.throttles += 1
                 report.throttled_cores.append(int(hot_core))
         return report
 
-    def _recover_throttled(self, state: ChipState, temps_k: np.ndarray) -> None:
+    def would_act(self, state: ChipState, temps_k: np.ndarray) -> bool:
+        """Whether :meth:`enforce` would mutate state for these readings.
+
+        True iff a throttled core has cooled below the headroom band
+        (recovery) or a busy core exceeds ``Tsafe`` (violation).  The
+        fused window engine uses this contract to skip enforcement on
+        quiet steps; see :attr:`supports_fused_windows`.
+        """
+        throttled = state.throttled_view
+        if throttled.any() and bool(
+            (temps_k[throttled] < self.target_limit_k).any()
+        ):
+            return True
+        busy = state.assignment_view >= 0
+        return bool((temps_k[busy] > self.tsafe_k).any())
+
+    def _recover_throttled(
+        self,
+        state: ChipState,
+        temps_k: np.ndarray,
+        fmax_ghz: np.ndarray,
+    ) -> None:
         """Restore throttled cores that have cooled below the headroom
-        band to their thread's required frequency (not counted as a DTM
-        event: it is the throttle releasing, not a new intervention)."""
-        throttled = np.flatnonzero(state.throttled)
+        band to their thread's required frequency, capped at the core's
+        aged safe limit (not counted as a DTM event: it is the throttle
+        releasing, not a new intervention)."""
+        throttled = np.flatnonzero(state.throttled_view)
         for core in throttled:
             if temps_k[core] < self.target_limit_k:
-                thread = state.threads[state.assignment[core]]
-                state.set_frequency(int(core), thread.fmin_ghz, throttled=False)
+                thread = state.threads[state.assignment_view[core]]
+                restored = min(thread.fmin_ghz, float(fmax_ghz[core]))
+                state.set_frequency(int(core), restored, throttled=False)

@@ -31,6 +31,11 @@ class ProactiveDTMPolicy(DTMPolicy):
         exceeds ``tsafe - margin`` are treated before they violate.
     """
 
+    #: Preemption can migrate threads even when no measured reading
+    #: crosses a trigger, so quiet steps cannot be skipped: the fused
+    #: window engine falls back to the step-by-step path.
+    supports_fused_windows = False
+
     def __init__(
         self,
         predictor: ThermalPredictor,

@@ -94,14 +94,48 @@ class ChipState:
         self._freq_ghz = np.zeros(num_cores)
         self._throttled = np.zeros(num_cores, dtype=bool)
         self._fenced = np.zeros(num_cores, dtype=bool)
+        #: Thread -> core reverse map (-1 when unmapped); maintained by
+        #: every mutation so :meth:`core_of_thread` is O(1) instead of a
+        #: per-call scan of the assignment vector.
+        self._thread_core = np.full(len(self.threads), -1, dtype=int)
+        #: Monotonic mutation counter.  Consumers that derive state from
+        #: this object (the fused window engine's compiled timelines)
+        #: compare it against the version they compiled at and rebuild
+        #: when it moved — dirty tracking without callbacks.
+        self._version = 0
+        self._views: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------
     @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every state-changing call."""
+        return self._version
+
+    def _readonly(self, name: str, backing: np.ndarray) -> np.ndarray:
+        """A cached read-only alias of ``backing`` (shared storage).
+
+        The alias always reflects the current state — it is the same
+        buffer — but refuses writes, so hot paths can hand it out
+        without the defensive copy the snapshot properties pay.
+        """
+        view = self._views.get(name)
+        if view is None:
+            view = backing.view()
+            view.flags.writeable = False
+            self._views[name] = view
+        return view
+
+    @property
     def powered_on(self) -> np.ndarray:
         """Per-core power state (copy)."""
         return self._powered_on.copy()
+
+    @property
+    def powered_view(self) -> np.ndarray:
+        """Per-core power state (live read-only view, no allocation)."""
+        return self._readonly("powered", self._powered_on)
 
     @property
     def assignment(self) -> np.ndarray:
@@ -109,14 +143,29 @@ class ChipState:
         return self._assignment.copy()
 
     @property
+    def assignment_view(self) -> np.ndarray:
+        """Per-core thread index (live read-only view, no allocation)."""
+        return self._readonly("assignment", self._assignment)
+
+    @property
     def freq_ghz(self) -> np.ndarray:
         """Per-core operating frequency (copy)."""
         return self._freq_ghz.copy()
 
     @property
+    def freq_view(self) -> np.ndarray:
+        """Per-core frequency (live read-only view, no allocation)."""
+        return self._readonly("freq", self._freq_ghz)
+
+    @property
     def throttled(self) -> np.ndarray:
         """Per-core throttle flags (copy)."""
         return self._throttled.copy()
+
+    @property
+    def throttled_view(self) -> np.ndarray:
+        """Per-core throttle flags (live read-only view, no allocation)."""
+        return self._readonly("throttled", self._throttled)
 
     @property
     def fenced(self) -> np.ndarray:
@@ -127,6 +176,11 @@ class ChipState:
         """
         return self._fenced.copy()
 
+    @property
+    def fenced_view(self) -> np.ndarray:
+        """Per-core power-fence flags (live read-only view)."""
+        return self._readonly("fenced", self._fenced)
+
     def fence(self, cores: np.ndarray) -> None:
         """Power-fence the given (dark) cores against DTM wake-up."""
         cores = np.asarray(cores, dtype=int)
@@ -134,6 +188,7 @@ class ChipState:
             raise ValueError("only dark cores can be fenced")
         self._fenced[:] = False
         self._fenced[cores] = True
+        self._version += 1
 
     @property
     def dcm(self) -> DarkCoreMap:
@@ -141,9 +196,14 @@ class ChipState:
         return DarkCoreMap(self._powered_on.copy())
 
     def core_of_thread(self, thread_index: int) -> int:
-        """Core currently executing a thread, or -1 if unmapped."""
-        hits = np.flatnonzero(self._assignment == thread_index)
-        return int(hits[0]) if hits.size else -1
+        """Core currently executing a thread, or -1 if unmapped.
+
+        O(1): answered from the reverse map maintained by the mutation
+        methods rather than scanning the assignment vector.
+        """
+        if not 0 <= thread_index < len(self.threads):
+            return -1
+        return int(self._thread_core[thread_index])
 
     def mapped_thread_indices(self) -> list[int]:
         """Thread indices currently placed on some core."""
@@ -163,6 +223,8 @@ class ChipState:
         thread can then be placed like any other.
         """
         self.threads.append(thread)
+        self._thread_core = np.append(self._thread_core, -1)
+        self._version += 1
         return len(self.threads) - 1
 
     def place(self, thread_index: int, core: int, freq_ghz: float) -> None:
@@ -181,6 +243,8 @@ class ChipState:
         self._assignment[core] = thread_index
         self._freq_ghz[core] = float(freq_ghz)
         self._throttled[core] = False
+        self._thread_core[thread_index] = core
+        self._version += 1
 
     def unplace(self, core: int) -> int:
         """Remove the thread from a core; returns the thread index."""
@@ -191,6 +255,8 @@ class ChipState:
         self._assignment[core] = -1
         self._freq_ghz[core] = 0.0
         self._throttled[core] = False
+        self._thread_core[thread_index] = -1
+        self._version += 1
         return thread_index
 
     def migrate(self, source: int, target: int) -> None:
@@ -215,6 +281,8 @@ class ChipState:
         self._powered_on[target] = True
         self._assignment[target] = thread_index
         self._freq_ghz[target] = freq
+        self._thread_core[thread_index] = target
+        self._version += 1
 
     def set_frequency(self, core: int, freq_ghz: float, throttled: bool = False) -> None:
         """Adjust a busy core's frequency (used by DTM throttling)."""
@@ -225,11 +293,13 @@ class ChipState:
             raise ValueError("operating frequency must be positive")
         self._freq_ghz[core] = float(freq_ghz)
         self._throttled[core] = bool(throttled)
+        self._version += 1
 
     def power_on(self, core: int) -> None:
         """Wake a dark core (leaves it idle)."""
         self._check_core(core)
         self._powered_on[core] = True
+        self._version += 1
 
     def power_off(self, core: int) -> None:
         """Gate an idle core."""
@@ -238,6 +308,7 @@ class ChipState:
             raise ValueError(f"core {core} runs a thread; unplace it first")
         self._powered_on[core] = False
         self._freq_ghz[core] = 0.0
+        self._version += 1
 
     # ------------------------------------------------------------------
     # vectors for the power/thermal models

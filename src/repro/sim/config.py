@@ -45,6 +45,11 @@ class SimulationConfig:
         aging, as the paper's Section II analysis describes.
     seed:
         Root seed for workload draws.
+    fused_window:
+        Run quiet window spans through the compiled fused engine
+        (:mod:`repro.sim.window`).  Results are bit-identical either
+        way; ``False`` (CLI ``--no-fused-window``) restores the
+        step-by-step reference path.
     """
 
     lifetime_years: float = 10.0
@@ -57,6 +62,7 @@ class SimulationConfig:
     duty_scale: float = 1.0
     settle_duty_fraction: float = 0.3
     seed: int = 0
+    fused_window: bool = True
 
     def __post_init__(self) -> None:
         check_positive("lifetime_years", self.lifetime_years)

@@ -19,6 +19,13 @@ from repro.obs import get_registry
 from repro.sim.config import SimulationConfig
 from repro.sim.context import ChipContext
 from repro.sim.results import EpochRecord, LifetimeResult
+from repro.sim.window import (
+    SEGMENT_CHUNK_STEPS,
+    FusedWindowEngine,
+    WindowStats,
+    compile_segment,
+    rewind_unexecuted_draws,
+)
 from repro.thermal.coupled import solve_coupled_steady_state
 from repro.thermal.rcnet import TransientIntegrator
 from repro.util.rng import SeedSequenceFactory
@@ -194,75 +201,36 @@ class LifetimeSimulator:
         # earlier round: a steady state DTM would intercept must not leak
         # into the aging input unclamped (the window's own transient
         # excursions below are real and stay unclamped).
-        worst = np.maximum(worst_settle, np.minimum(temps, reaction_ceiling))
-        duty_accum = np.zeros(n)
-        temp_sum = 0.0
-        peak = float(temps.max())
-        ips_sum = 0.0
+        stats = WindowStats(
+            worst=np.maximum(worst_settle, np.minimum(temps, reaction_ceiling)),
+            duty_accum=np.zeros(n),
+            peak=float(temps.max()),
+        )
 
         arrived_threads = 0
-        tsafe_violations = 0
         departed_threads: set[int] = set()
-        # Min-heap ordered by departure time (insertion order breaks
-        # ties), so each step pops only the due departures instead of
-        # scanning and list.remove()-ing the whole backlog — the O(n^2)
-        # former behaviour.  Departures within one step are independent
-        # (each thread holds at most one core), so pop order does not
-        # change the resulting state.
-        pending_departures: list[tuple[float, int, list[int]]] = []
-        departure_seq = 0
         steps = cfg.steps_per_window
         with obs.timer("sim.window"):
-            for step in range(steps):
-                t = step * cfg.control_dt_s
-                if arrivals is not None:
-                    while pending_departures and pending_departures[0][0] <= t:
-                        _, _, indices = heapq.heappop(pending_departures)
-                        self._depart(state, indices, departed_threads)
-                    for event in arrivals.due(t, t + cfg.control_dt_s):
-                        indices = [
-                            state.add_thread(th)
-                            for th in event.application.threads
-                        ]
-                        arrived_threads += len(indices)
-                        self._place_arrival(
-                            ctx,
-                            policy,
-                            state,
-                            indices,
-                            fmax_now,
-                            integrator.core_temperatures(all_nodes),
-                        )
-                        if np.isfinite(event.departure_s):
-                            heapq.heappush(
-                                pending_departures,
-                                (event.departure_s, departure_seq, indices),
-                            )
-                            departure_seq += 1
-                activity = state.activity_vector(t)
-                core_temps = integrator.core_temperatures(all_nodes)
-                breakdown = ctx.power_model.evaluate(
-                    state.freq_ghz, activity, core_temps, state.powered_on
-                )
-                all_nodes = integrator.step(all_nodes, breakdown.total_w)
-                core_temps = integrator.core_temperatures(all_nodes)
-
-                readings = ctx.read_temps(core_temps)
-                report = self.dtm.enforce(state, readings, fmax_now)
-                migrations += report.migrations
-                throttles += report.throttles
-
-                worst = np.maximum(worst, core_temps)
-                temp_sum += float(core_temps.mean())
-                peak = max(peak, float(core_temps.max()))
-                tsafe_violations += int((core_temps > self.dtm.tsafe_k).sum())
-                duty_accum += state.duty_vector() * cfg.control_dt_s
-                ips_sum += self._total_ips(state)
+            all_nodes, migrations, throttles, arrived_threads = self._run_window(
+                ctx,
+                policy,
+                state,
+                arrivals,
+                integrator,
+                all_nodes,
+                fmax_now,
+                stats,
+                departed_threads,
+                migrations,
+                throttles,
+            )
 
         duties = np.clip(
-            (duty_accum / cfg.window_s + settle_duty) * cfg.duty_scale, 0.0, 1.0
+            (stats.duty_accum / cfg.window_s + settle_duty) * cfg.duty_scale,
+            0.0,
+            1.0,
         )
-        ctx.health_state.advance(worst, duties, cfg.epoch_years)
+        ctx.health_state.advance(stats.worst, duties, cfg.epoch_years)
         ctx.last_temps_k = integrator.core_temperatures(all_nodes).copy()
 
         qos = self._qos_violations(state, fmax_now, departed_threads)
@@ -273,19 +241,178 @@ class LifetimeSimulator:
             length_years=cfg.epoch_years,
             mix_description=mix.describe(),
             dcm_on=dcm_on,
-            worst_temps_k=worst,
-            avg_temp_k=temp_sum / steps,
-            peak_temp_k=peak,
+            worst_temps_k=stats.worst,
+            avg_temp_k=stats.temp_sum / steps,
+            peak_temp_k=stats.peak,
             dtm_migrations=migrations,
             dtm_throttles=throttles,
             duties=duties,
             health_after=ctx.health_state.health,
             qos_violations=qos,
-            total_ips=ips_sum / steps,
+            total_ips=stats.ips_sum / steps,
             arrivals=arrived_threads,
             comm_weighted_hops=noc_report.weighted_hops,
-            tsafe_violation_steps=tsafe_violations,
+            tsafe_violation_steps=stats.tsafe_violations,
         )
+
+    def _run_window(
+        self,
+        ctx: ChipContext,
+        policy,
+        state: ChipState,
+        arrivals,
+        integrator: TransientIntegrator,
+        all_nodes: np.ndarray,
+        fmax_now: np.ndarray,
+        stats: WindowStats,
+        departed_threads: set[int],
+        migrations: int,
+        throttles: int,
+    ) -> tuple[np.ndarray, int, int, int]:
+        """Run the fine-grained transient window.
+
+        Quiet spans — no arrival or departure step inside, no sensor
+        reading in the DTM trigger band — run as compiled fused
+        segments (see :mod:`repro.sim.window`); everything else runs
+        the original step-by-step body.  Both paths are bit-identical;
+        ``--no-fused-window`` (``SimulationConfig.fused_window=False``)
+        or a DTM policy without the fused contract forces the latter
+        everywhere.
+        """
+        cfg = self.config
+        dt = cfg.control_dt_s
+        steps = cfg.steps_per_window
+        obs = get_registry()
+        arrived_threads = 0
+        # Min-heap ordered by departure time (insertion order breaks
+        # ties), so each step pops only the due departures instead of
+        # scanning and list.remove()-ing the whole backlog — the O(n^2)
+        # former behaviour.  Departures within one step are independent
+        # (each thread holds at most one core), so pop order does not
+        # change the resulting state.
+        pending_departures: list[tuple[float, int, list[int]]] = []
+        departure_seq = 0
+
+        engine: FusedWindowEngine | None = None
+        times = None
+        arrival_steps: list[int] = []
+        if cfg.fused_window:
+            engine = FusedWindowEngine(ctx.power_model, integrator, self.dtm)
+            if not engine.supported:
+                engine = None
+        if engine is not None:
+            # Step times computed exactly as the loop's `step * dt`
+            # (int-to-float conversion is exact, the multiply is the
+            # same IEEE op), so event-step comparisons match.
+            times = np.arange(steps, dtype=float) * dt
+            if arrivals is not None:
+                # A step fires an event iff `t <= time < t + dt` with the
+                # loop's own floats; evaluating that predicate over the
+                # whole step grid (rather than dividing) keeps the fire
+                # steps exact even where `s*dt + dt != (s+1)*dt`.
+                fire_steps = set()
+                step_ends = times + dt
+                for event in arrivals.events:
+                    hits = np.flatnonzero(
+                        (times <= event.time_s) & (event.time_s < step_ends)
+                    )
+                    fire_steps.update(int(s) for s in hits)
+                arrival_steps = sorted(fire_steps)
+
+        step = 0
+        while step < steps:
+            t = step * dt
+            if arrivals is not None:
+                while pending_departures and pending_departures[0][0] <= t:
+                    _, _, indices = heapq.heappop(pending_departures)
+                    self._depart(state, indices, departed_threads)
+                for event in arrivals.due(t, t + dt):
+                    indices = [
+                        state.add_thread(th) for th in event.application.threads
+                    ]
+                    arrived_threads += len(indices)
+                    self._place_arrival(
+                        ctx,
+                        policy,
+                        state,
+                        indices,
+                        fmax_now,
+                        integrator.core_temperatures(all_nodes),
+                    )
+                    if np.isfinite(event.departure_s):
+                        heapq.heappush(
+                            pending_departures,
+                            (event.departure_s, departure_seq, indices),
+                        )
+                        departure_seq += 1
+
+            if engine is not None:
+                seg_end = min(steps, step + SEGMENT_CHUNK_STEPS)
+                while arrival_steps and arrival_steps[0] <= step:
+                    arrival_steps.pop(0)
+                if arrival_steps:
+                    seg_end = min(seg_end, arrival_steps[0])
+                if pending_departures:
+                    dep_step = int(
+                        np.searchsorted(
+                            times, pending_departures[0][0], side="left"
+                        )
+                    )
+                    seg_end = min(seg_end, max(dep_step, step + 1))
+                segment = compile_segment(
+                    state, ctx.power_model, times, step, seg_end, dt
+                )
+                if segment is None:
+                    engine = None  # unsupported trace type: step-by-step
+                else:
+                    all_nodes, done, break_readings = engine.run_segment(
+                        state, all_nodes, segment, stats, ctx.read_temps
+                    )
+                    step += done
+                    if break_readings is not None:
+                        report = self.dtm.enforce(
+                            state, break_readings, fmax_now
+                        )
+                        migrations += report.migrations
+                        throttles += report.throttles
+                        if report.migrations and done < segment.num_steps:
+                            # The migration changed the core order the
+                            # compile-time phase draws beyond the break
+                            # assumed; unwind them so the next compile
+                            # redraws in the new order (throttles leave
+                            # the order intact — nothing to unwind).
+                            rewind_unexecuted_draws(
+                                segment,
+                                times[
+                                    segment.start_step : segment.start_step
+                                    + done
+                                ],
+                            )
+                        stats.duty_accum += state.duty_vector() * dt
+                        stats.ips_sum += self._total_ips(state)
+                    continue
+
+            activity = state.activity_vector(t)
+            core_temps = integrator.core_temperatures(all_nodes)
+            breakdown = ctx.power_model.evaluate(
+                state.freq_ghz, activity, core_temps, state.powered_on
+            )
+            all_nodes = integrator.step(all_nodes, breakdown.total_w)
+            core_temps = integrator.core_temperatures(all_nodes)
+
+            readings = ctx.read_temps(core_temps)
+            report = self.dtm.enforce(state, readings, fmax_now)
+            migrations += report.migrations
+            throttles += report.throttles
+
+            stats.worst = np.maximum(stats.worst, core_temps)
+            stats.temp_sum += float(core_temps.mean())
+            stats.peak = max(stats.peak, float(core_temps.max()))
+            stats.tsafe_violations += int((core_temps > self.dtm.tsafe_k).sum())
+            stats.duty_accum += state.duty_vector() * dt
+            stats.ips_sum += self._total_ips(state)
+            step += 1
+        return all_nodes, migrations, throttles, arrived_threads
 
     def _place_arrival(
         self,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.power.leakage import REFERENCE_TEMP_K
 from repro.power.model import PowerModel
 from repro.thermal.rcnet import ThermalRCNetwork
 
@@ -188,14 +189,14 @@ class ThermalPredictor:
         ):
             raise ValueError("batch inputs must share shape (batch, num_cores)")
 
-        dyn = self.power_model.dynamic.power_w(freq_ghz, activity) * powered_on
+        dyn = self.power_model.dynamic.power_w(freq_ghz, activity)
+        np.multiply(dyn, powered_on, out=dyn)
+        leakage = self.power_model.leakage
         leak_scale = self.power_model.leakage_scale
-        gated = self.power_model.leakage.gated_w
+        gated = leakage.gated_w
         # (nominal * scale) hoisted out of the correction loop — the
         # same left-to-right product the in-loop expression computed.
-        nominal_scaled = (
-            self.power_model.leakage.nominal_w * leak_scale[None, :]
-        )
+        nominal_scaled = leakage.nominal_w * leak_scale[None, :]
 
         if initial_temps_k is None:
             temps = np.broadcast_to(
@@ -206,10 +207,25 @@ class ThermalPredictor:
             if initial.shape != (self.num_cores,):
                 raise ValueError("initial_temps_k must be a flat per-core vector")
             temps = np.broadcast_to(initial, (batch, self.num_cores)).copy()
+        # The correction loop inlines LeakageModel.temperature_factor
+        # into reused scratch buffers (temperatures here evolve from
+        # physical states and are trusted positive).  Every expression
+        # keeps the reference op order — ``exp(beta * (min(T, limit) -
+        # T_ref))``, ``nominal_scaled * factor``, ``dyn + leak``,
+        # ``baseline + power @ K.T`` — so results are bit-identical to
+        # the unfused form.
+        scratch = np.empty_like(temps)
+        product = np.empty_like(temps)
+        fit_limit = leakage.fit_limit_k
+        beta = leakage.beta_per_k
         for _ in range(self.leakage_iterations + 1):
-            active_leak = nominal_scaled * self.power_model.leakage.temperature_factor(
-                temps
-            )
-            leak = np.where(powered_on, active_leak, gated)
-            temps = self._baseline[None, :] + (dyn + leak) @ self.influence.T
+            np.minimum(temps, fit_limit, out=scratch)
+            scratch -= REFERENCE_TEMP_K
+            scratch *= beta
+            np.exp(scratch, out=scratch)
+            np.multiply(nominal_scaled, scratch, out=scratch)
+            leak = np.where(powered_on, scratch, gated)
+            leak += dyn
+            np.matmul(leak, self.influence.T, out=product)
+            np.add(self._baseline, product, out=temps)
         return temps

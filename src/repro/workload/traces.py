@@ -52,6 +52,10 @@ class PhaseTrace:
         self._rng = rng
         self._boundaries = [0.0]  # cumulative phase end times
         self._levels: list[float] = []
+        # Cached ndarray mirrors of the phase lists for vectorized
+        # sampling; rebuilt lazily whenever an extension grows the lists.
+        self._bounds_arr: np.ndarray | None = None
+        self._levels_arr: np.ndarray | None = None
         self._extend_to(0.0)
 
     def _draw_level(self) -> float:
@@ -65,12 +69,83 @@ class PhaseTrace:
         )
 
     def _extend_to(self, time_s: float) -> None:
+        if self._boundaries[-1] > time_s:
+            return
         while self._boundaries[-1] <= time_s:
             duration = max(
                 self._MIN_PHASE_S, float(self._rng.exponential(self.phase_length_s))
             )
             self._boundaries.append(self._boundaries[-1] + duration)
             self._levels.append(self._draw_level())
+        self._bounds_arr = None
+        self._levels_arr = None
+
+    def extend_to(self, time_s: float) -> None:
+        """Materialize phases up to and beyond ``time_s``.
+
+        Public hook for the window engine: traces of one application
+        share an RNG, so a compiler that samples several sibling traces
+        must first extend them in the exact order the per-step loop
+        would have (ascending core per step) to keep the shared stream
+        bit-identical.  Extending past an already-covered time is a
+        no-op and consumes no randomness.
+        """
+        if time_s < 0:
+            raise ValueError("time must be non-negative")
+        self._extend_to(time_s)
+
+    @property
+    def horizon_s(self) -> float:
+        """Last materialized phase boundary (trace is defined below it)."""
+        return self._boundaries[-1]
+
+    @property
+    def phase_count(self) -> int:
+        """Number of materialized phases (rollback mark for consumers
+        that may need to unwind speculative extensions)."""
+        return len(self._levels)
+
+    def truncate_phases(self, count: int) -> None:
+        """Discard phases beyond the first ``count``.
+
+        Rollback hook for the window engine: a compiler that extended
+        sibling traces speculatively (and then restored their shared
+        generator's state) truncates back to the marks it took, so the
+        exact same phases can be redrawn in a different order.  The
+        kept phases are untouched.
+        """
+        if not 0 <= count <= len(self._levels):
+            raise ValueError("count must not exceed the materialized phases")
+        if count == len(self._levels):
+            return
+        del self._levels[count:]
+        del self._boundaries[count + 1 :]
+        self._bounds_arr = None
+        self._levels_arr = None
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The RNG this trace draws from (shared across an application's
+        traces; consumers ordering extensions group traces by it)."""
+        return self._rng
+
+    def levels_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`activity_at` over an ascending time array.
+
+        Every time must already be covered (callers extend first via
+        :meth:`extend_to` in shared-RNG order); uses ``searchsorted``
+        on cached boundary arrays, matching ``bisect_right`` on the
+        same floats exactly.
+        """
+        times_s = np.asarray(times_s, dtype=float)
+        if times_s.size and float(times_s[-1]) >= self._boundaries[-1]:
+            # Ascending contract: the last element is the maximum.
+            raise ValueError("levels_at requires the trace to be extended first")
+        if self._bounds_arr is None:
+            self._bounds_arr = np.asarray(self._boundaries)
+            self._levels_arr = np.asarray(self._levels)
+        idx = np.searchsorted(self._bounds_arr, times_s, side="right") - 1
+        return self._levels_arr[idx]
 
     def activity_at(self, time_s: float) -> float:
         """Activity level at absolute time ``time_s`` (>= 0)."""

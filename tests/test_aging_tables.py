@@ -159,3 +159,58 @@ class TestValidation:
                 aging_table.age_grid_years,
                 bad,
             )
+
+
+class TestBracketedInverse:
+    """The count-bracket fast path of ``_ages_located`` must reproduce
+    the exhaustive full-curve inversion bit for bit."""
+
+    def _reference_ages(self, table, temp, duty, health):
+        """Exhaustive path: blend full age curves, invert them."""
+        curves = table._health_curves(temp, duty)
+        return table._ages_on_curves(curves, np.atleast_1d(health))
+
+    def test_random_batches_match_full_curves(self, aging_table):
+        assert aging_table._age_monotone
+        rng = np.random.default_rng(1234)
+        tg = aging_table.temp_grid_k
+        stored = aging_table.values.ravel()
+        for _ in range(40):
+            b = int(rng.integers(1, 50))
+            temp = rng.uniform(tg[0] - 15.0, tg[-1] + 15.0, b)
+            duty = rng.uniform(0.0, 1.0, b)
+            health = rng.uniform(0.2, 1.0, b)
+            # Adversarial sprinkles: grid-edge duties, pristine health,
+            # and targets equal to exactly-stored curve values (the
+            # cases that force the two-threshold bracket to widen).
+            duty[rng.random(b) < 0.15] = 0.0
+            duty[rng.random(b) < 0.15] = 1.0
+            health[rng.random(b) < 0.15] = 1.0
+            exact = rng.random(b) < 0.3
+            if exact.any():
+                health[exact] = stored[
+                    rng.integers(0, stored.size, int(exact.sum()))
+                ]
+            fast = aging_table.equivalent_age(temp, duty, health)
+            ref = self._reference_ages(aging_table, temp, duty, health)
+            np.testing.assert_array_equal(fast, ref)
+
+    def test_single_element_batch(self, aging_table):
+        """B=1 exercises the degenerate-reduction guard."""
+        fast = aging_table.equivalent_age(355.0, 0.45, 0.97)
+        ref = self._reference_ages(
+            aging_table, np.array([355.0]), np.array([0.45]), 0.97
+        )
+        np.testing.assert_array_equal(fast, ref)
+
+    def test_next_health_consistent_with_components(self, aging_table):
+        """The fused table walk equals invert + advance + forward read."""
+        rng = np.random.default_rng(7)
+        b = 12
+        temp = rng.uniform(300.0, 430.0, b)
+        duty = rng.uniform(0.05, 1.0, b)
+        health = rng.uniform(0.5, 1.0, b)
+        walked = aging_table.next_health(temp, duty, health, 0.5)
+        ages = aging_table.equivalent_age(temp, duty, health) + 0.5
+        read = aging_table.health(temp, duty, ages)
+        np.testing.assert_array_equal(walked, np.minimum(read, health))

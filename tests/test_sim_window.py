@@ -1,0 +1,214 @@
+"""Fused-window engine: bit identity with the step-by-step path.
+
+The core contract of :mod:`repro.sim.window`: running a window through
+compiled segments must reproduce the unfused reference loop bit for bit
+— identical :class:`~repro.sim.results.EpochRecord` fields, health
+trajectories and DTM event counts — in every regime the simulator
+visits (quiet windows, mid-epoch arrivals, throttling and recovery,
+migration-heavy baselines).  Also covers the trace-level machinery the
+engine relies on (vectorized sampling, speculative-draw rollback) and
+the observability counters that make the fast path visible.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines import VAAManager
+from repro.core import HayatManager
+from repro.dtm import DTMPolicy
+from repro.obs import MetricsRegistry, use_registry
+from repro.sim import ChipContext, LifetimeSimulator, SimulationConfig
+from repro.sim.window import CompiledSegment, rewind_unexecuted_draws
+from repro.workload import poisson_arrivals
+from repro.workload.traces import PhaseTrace
+
+BASE_CFG = dict(
+    lifetime_years=1.0,
+    epoch_years=0.5,
+    dark_fraction_min=0.5,
+    window_s=20.0,
+    seed=7,
+)
+
+
+def run_pair(chip, table, policy_factory, dtm_factory=None, arrivals=None, **kwargs):
+    """Run the same scenario fused and unfused; returns both results."""
+    results = []
+    for fused in (True, False):
+        cfg = SimulationConfig(**{**BASE_CFG, **kwargs}, fused_window=fused)
+        ctx = ChipContext(chip, table, dark_fraction_min=cfg.dark_fraction_min)
+        sim = LifetimeSimulator(
+            cfg,
+            dtm=dtm_factory() if dtm_factory is not None else None,
+            arrivals_factory=arrivals,
+        )
+        results.append(sim.run(ctx, policy_factory()))
+    return results
+
+
+def assert_bit_identical(fused, unfused):
+    """Every EpochRecord field must match exactly (no tolerance)."""
+    assert len(fused.epochs) == len(unfused.epochs)
+    for a, b in zip(fused.epochs, unfused.epochs):
+        for field in dataclasses.fields(a):
+            va, vb = getattr(a, field.name), getattr(b, field.name)
+            assert np.array_equal(va, vb), (
+                f"epoch {a.epoch_index}: field {field.name!r} differs "
+                f"({va!r} != {vb!r})"
+            )
+    np.testing.assert_array_equal(
+        fused.health_trajectory(), unfused.health_trajectory()
+    )
+
+
+def arrivals_factory(epoch, window_s, rng):
+    """Poisson mid-window arrivals (same idiom as test_sim_arrivals)."""
+    return poisson_arrivals(
+        window_s, mean_interarrival_s=5.0, rng=rng, threads_per_app=(1, 2)
+    )
+
+
+class TestFusedBitIdentity:
+    def test_quiet_run(self, chip, aging_table):
+        fused, unfused = run_pair(chip, aging_table, HayatManager)
+        assert_bit_identical(fused, unfused)
+
+    def test_vaa_policy(self, chip, aging_table):
+        """VAA's hottest-first moves exercise the migration path."""
+        fused, unfused = run_pair(chip, aging_table, VAAManager)
+        assert_bit_identical(fused, unfused)
+
+    def test_throttle_and_recovery(self, chip, aging_table):
+        """A much stricter Tsafe forces throttling mid-window, so fused
+        segments must break at the trigger band and on recovery."""
+        cfg_tsafe = SimulationConfig().tsafe_k - 15.0
+        fused, unfused = run_pair(
+            chip,
+            aging_table,
+            VAAManager,
+            dtm_factory=lambda: DTMPolicy(tsafe_k=cfg_tsafe),
+        )
+        assert sum(e.dtm_events for e in fused.epochs) > 0
+        assert_bit_identical(fused, unfused)
+
+    def test_arrivals(self, chip, aging_table):
+        """Arrival steps split segments; the streams must still agree."""
+        fused, unfused = run_pair(
+            chip,
+            aging_table,
+            HayatManager,
+            arrivals=arrivals_factory,
+            load_factor=0.6,
+            seed=5,
+        )
+        assert fused.epochs[0].arrivals > 0
+        assert_bit_identical(fused, unfused)
+
+
+class TestWindowCounters:
+    def _counters(self, chip, table, fused):
+        cfg = SimulationConfig(**BASE_CFG, fused_window=fused)
+        ctx = ChipContext(chip, table, dark_fraction_min=cfg.dark_fraction_min)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            LifetimeSimulator(cfg).run(ctx, HayatManager())
+        return registry.snapshot().counters
+
+    def test_fused_run_reports_progress(self, chip, aging_table):
+        counters = self._counters(chip, aging_table, fused=True)
+        assert counters["sim.fused_steps"] > 0
+        assert counters["sim.timeline_compiles"] > 0
+
+    def test_unfused_run_reports_none(self, chip, aging_table):
+        counters = self._counters(chip, aging_table, fused=False)
+        assert counters.get("sim.fused_steps", 0) == 0
+        assert counters.get("sim.timeline_compiles", 0) == 0
+
+
+def _sibling_traces(seed):
+    """Two traces sharing one generator, as one application's threads do."""
+    rng = np.random.default_rng(seed)
+    return [
+        PhaseTrace(0.5, 0.3, 3.0, rng),
+        PhaseTrace(0.6, 0.2, 2.0, rng),
+    ]
+
+
+class TestCompiledTimelines:
+    def test_levels_match_activity_at(self):
+        """Vectorized sampling equals the per-step scalar path exactly."""
+        times = np.arange(200) * 0.25
+        vec = _sibling_traces(seed=3)
+        ref = _sibling_traces(seed=3)
+        for trace in vec:
+            trace.extend_to(float(times[-1]))
+        for trace_v, trace_r in zip(vec, ref):
+            scalar = np.array([trace_r.activity_at(float(t)) for t in times])
+            np.testing.assert_array_equal(trace_v.levels_at(times), scalar)
+
+    def test_rewind_replays_executed_prefix(self):
+        """Speculative draws unwind to exactly the step-loop prefix.
+
+        Compile-style extension draws phases for a whole segment up
+        front; when a mid-segment break invalidates the tail,
+        rewind_unexecuted_draws must leave every stream positioned as
+        if only the executed steps had ever been simulated.
+        """
+        times = np.arange(64) * 1.0
+        executed = 17
+
+        # Reference: the unfused loop samples step by step, in core
+        # order, and never sees the unexecuted steps.
+        ref = _sibling_traces(seed=11)
+        for t in times[:executed]:
+            for trace in ref:
+                trace.activity_at(float(t))
+
+        # Compile path: snapshot, speculate over the full span, rewind.
+        traces = _sibling_traces(seed=11)
+        generator = traces[0].generator
+        segment = CompiledSegment(
+            start_step=0,
+            dyn_power_w=np.zeros((len(times), 2)),
+            duty_step=np.zeros(2),
+            ips_total=0.0,
+            busy=np.array([True, True]),
+            throttled_idx=np.array([], dtype=int),
+            traces=traces,
+            rng_states=[(generator, generator.bit_generator.state)],
+            phase_marks=[(trace, trace.phase_count) for trace in traces],
+        )
+        for trace in traces:
+            trace.extend_to(float(times[-1]))
+        rewind_unexecuted_draws(segment, times[:executed])
+
+        for trace, trace_r in zip(traces, ref):
+            assert trace.phase_count == trace_r.phase_count
+            np.testing.assert_array_equal(
+                trace._boundaries, trace_r._boundaries
+            )
+            np.testing.assert_array_equal(trace._levels, trace_r._levels)
+        # After the rewind, continuing step by step from the break must
+        # reproduce the reference stream's future draws too.
+        future = [
+            trace.activity_at(float(t)) for trace in traces for t in times[executed:]
+        ]
+        future_ref = [
+            trace.activity_at(float(t)) for trace in ref for t in times[executed:]
+        ]
+        np.testing.assert_array_equal(future, future_ref)
+
+    def test_truncate_restores_extension_determinism(self):
+        """truncate_phases + state restore redraws identical phases."""
+        rng = np.random.default_rng(21)
+        trace = PhaseTrace(0.4, 0.1, 1.5, rng)
+        mark = trace.phase_count
+        state = trace.generator.bit_generator.state
+        trace.extend_to(50.0)
+        boundaries = list(trace._boundaries)
+        trace.generator.bit_generator.state = state
+        trace.truncate_phases(mark)
+        trace.extend_to(50.0)
+        np.testing.assert_array_equal(trace._boundaries, boundaries)
