@@ -4,11 +4,15 @@
 Usage::
 
     python scripts/run_benchmarks.py --output BENCH_PR2.json \
+        [--suite benchmarks/test_perf_supervision.py ...] \
         [--baseline old_stats.json] [--pytest-arg=--benchmark-warmup=on]
 
-Runs ``benchmarks/test_perf_simulator.py`` under pytest-benchmark,
-distills the per-test stats (mean/min/stddev in milliseconds), and
-writes them to ``--output``.  When ``--baseline`` points at an earlier
+Runs the selected benchmark files (default
+``benchmarks/test_perf_simulator.py``; repeat ``--suite`` to pick
+others) under pytest-benchmark, distills the per-test stats
+(mean/min/stddev in milliseconds, plus any ``benchmark.extra_info`` a
+test recorded), and writes them to ``--output``.  When ``--baseline``
+points at an earlier
 pytest-benchmark JSON (or an earlier output of this script), the file
 also records the baseline means and the resulting speedups — the
 before/after record the perf acceptance criteria read.
@@ -24,7 +28,7 @@ import sys
 import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-BENCH_FILE = os.path.join("benchmarks", "test_perf_simulator.py")
+DEFAULT_SUITE = os.path.join("benchmarks", "test_perf_simulator.py")
 
 
 def _distill(raw: dict) -> dict:
@@ -32,12 +36,15 @@ def _distill(raw: dict) -> dict:
     out = {}
     for bench in raw.get("benchmarks", []):
         stats = bench["stats"]
-        out[bench["name"]] = {
+        entry = {
             "mean_ms": stats["mean"] * 1e3,
             "min_ms": stats["min"] * 1e3,
             "stddev_ms": stats["stddev"] * 1e3,
             "rounds": stats["rounds"],
         }
+        if bench.get("extra_info"):
+            entry["extra_info"] = bench["extra_info"]
+        out[bench["name"]] = entry
     return out
 
 
@@ -54,6 +61,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_PR2.json")
     parser.add_argument(
+        "--suite",
+        action="append",
+        default=[],
+        help=f"benchmark file to run (repeatable; default {DEFAULT_SUITE})",
+    )
+    parser.add_argument(
         "--baseline",
         help="earlier stats JSON to record as 'before' (with speedups)",
     )
@@ -64,6 +77,7 @@ def main(argv: list[str] | None = None) -> int:
         help="extra argument forwarded to pytest (repeatable)",
     )
     args = parser.parse_args(argv)
+    suites = args.suite or [DEFAULT_SUITE]
 
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         raw_path = handle.name
@@ -72,7 +86,7 @@ def main(argv: list[str] | None = None) -> int:
         p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
     )
     command = [
-        sys.executable, "-m", "pytest", BENCH_FILE, "-q",
+        sys.executable, "-m", "pytest", *suites, "-q",
         "--benchmark-only", f"--benchmark-json={raw_path}",
         *args.pytest_arg,
     ]
@@ -88,7 +102,7 @@ def main(argv: list[str] | None = None) -> int:
 
     after = _distill(raw)
     payload: dict = {
-        "suite": BENCH_FILE,
+        "suite": suites[0] if len(suites) == 1 else suites,
         "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
         "after": after,
     }

@@ -71,6 +71,60 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help=(
+            "stream completed jobs to this JSONL checkpoint; re-running "
+            "with the same path resumes, skipping recorded jobs"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-attempts granted to a job that raises, hangs, or dies",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-job wall-clock deadline in seconds (runs jobs in a "
+            "preemptable worker pool, even with --workers 1)"
+        ),
+    )
+    parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help=(
+            "finish the campaign even when jobs exhaust their retries; "
+            "failures are reported instead of aborting"
+        ),
+    )
+
+
+def _supervision_kwargs(args) -> dict:
+    return {
+        "checkpoint": args.checkpoint,
+        "retries": args.retries,
+        "job_timeout_s": args.job_timeout,
+        "allow_partial": args.allow_partial,
+    }
+
+
+def _report_failures(failures) -> None:
+    if not failures:
+        return
+    print()
+    print(f"{len(failures)} job(s) failed and were degraded:")
+    for failure in failures:
+        print(f"  {failure.describe()}")
+
+
 def _start_observability(args):
     """Enable the global registry when ``--metrics``/``--trace`` ask for it."""
     if getattr(args, "metrics", False) or getattr(args, "trace", None):
@@ -125,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--workers", type=int, default=1, help="parallel worker processes"
     )
+    _add_supervision_flags(campaign)
     _add_observability_flags(campaign)
 
     scenario = sub.add_parser(
@@ -147,6 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--workers", type=int, default=1, help="parallel worker processes"
     )
+    _add_supervision_flags(sweep)
     _add_observability_flags(sweep)
     return parser
 
@@ -236,7 +292,9 @@ def _cmd_campaign(args) -> int:
         population_seed=args.seed,
         progress=lambda policy, chip: print(f"  {policy} / {chip}"),
         workers=args.workers,
+        **_supervision_kwargs(args),
     )
+    _report_failures(campaign.failures)
     dtm = campaign.normalized_dtm_events("vaa", "hayat")
     temp = campaign.normalized_temp_rise("vaa", "hayat")
     aging = campaign.normalized_avg_fmax_aging("vaa", "hayat")
@@ -317,7 +375,10 @@ def _cmd_sweep(args) -> int:
         config=config,
         population_seed=args.seed,
         workers=args.workers,
+        **_supervision_kwargs(args),
     )
+    for campaign_result in sweep.campaigns.values():
+        _report_failures(campaign_result.failures)
     dtm = sweep.metric("dtm", "vaa", "hayat")
     temp = sweep.metric("temp", "vaa", "hayat")
     aging = sweep.metric("avg_aging", "vaa", "hayat")

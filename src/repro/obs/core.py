@@ -53,6 +53,7 @@ class TimerStats:
         return self.total_s / self.count if self.count else 0.0
 
     def copy(self) -> "TimerStats":
+        """An independent duplicate of these stats."""
         return TimerStats(self.count, self.total_s, self.min_s, self.max_s)
 
 

@@ -13,15 +13,22 @@ from repro.sim.context import ChipContext
 from repro.sim.results import EpochRecord, LifetimeResult
 from repro.sim.simulator import LifetimeSimulator
 from repro.sim.campaign import CampaignResult, run_campaign
+from repro.sim.checkpoint import CampaignCheckpoint, campaign_digest, job_key
+from repro.sim.supervisor import CampaignJobError, JobFailure
 from repro.sim.regression import Drift, compare_results
 from repro.sim.scenario import ScenarioError, load_scenario, run_scenario
 from repro.sim.sweep import SweepResult, sweep_dark_fractions
 
 __all__ = [
+    "CampaignCheckpoint",
+    "CampaignJobError",
     "CampaignResult",
     "Drift",
+    "JobFailure",
     "ScenarioError",
+    "campaign_digest",
     "compare_results",
+    "job_key",
     "SweepResult",
     "load_scenario",
     "run_scenario",

@@ -4,43 +4,73 @@ The paper's evaluation shape: 25 chips x {25 %, 50 %} dark silicon x
 {VAA, Hayat}, every (chip, dark-level) pair seeing identical silicon and
 identical workload draws for both policies, normalized per chip to the
 baseline (Figs. 7-10).
+
+Campaigns are fault tolerant: every job runs under the
+:mod:`repro.sim.supervisor` (bounded retries, optional per-job
+timeouts, structured :class:`~repro.sim.supervisor.JobFailure` records)
+and can stream completed jobs to a
+:class:`~repro.sim.checkpoint.CampaignCheckpoint` so an interrupted
+paper-scale run resumes instead of restarting.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import pickle
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.aging.tables import AgingTable, default_aging_table
-from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.obs import get_registry
+from repro.sim.checkpoint import CampaignCheckpoint, campaign_digest
 from repro.sim.config import SimulationConfig
-from repro.sim.context import ChipContext
 from repro.sim.results import LifetimeResult
-from repro.sim.simulator import LifetimeSimulator
-from repro.thermal.cache import (
-    configure_thermal_cache,
-    floorplan_signature,
-    get_thermal_cache,
-    warm_thermal_cache,
+from repro.sim.supervisor import (
+    CampaignJobError,
+    JobFailure,
+    _init_worker,
+    run_supervised_jobs,
 )
+from repro.thermal.cache import floorplan_signature, get_thermal_cache
 from repro.util.constants import AMBIENT_KELVIN
 from repro.variation.population import ChipPopulation, generate_population
+
+__all__ = [
+    "CampaignJobError",
+    "CampaignResult",
+    "JobFailure",
+    "run_campaign",
+]
 
 
 @dataclass
 class CampaignResult:
-    """All lifetime results of one campaign, keyed for comparison."""
+    """All lifetime results of one campaign, keyed for comparison.
+
+    With ``allow_partial=True`` a failed job leaves an *empty* lifetime
+    (zero epochs, same chip identity) in its slot plus a
+    :class:`JobFailure` in :attr:`failures`, so the per-policy lists
+    stay chip-aligned.  Every normalization below pairs results
+    chip-for-chip and skips chips where either side has no epochs — a
+    failed chip drops out of the comparison instead of poisoning the
+    population mean with ``inf``/``nan``.
+    """
 
     config: SimulationConfig
     #: results[policy_name][chip_index] -> LifetimeResult
     results: dict[str, list[LifetimeResult]] = field(default_factory=dict)
+    #: Jobs that exhausted their retries (``allow_partial`` campaigns).
+    failures: list[JobFailure] = field(default_factory=list)
 
     def policies(self) -> list[str]:
         """Policy names in insertion order."""
         return list(self.results)
+
+    def _pairs(self, baseline: str, policy: str):
+        """Chip-aligned (base, other) pairs where both sides completed."""
+        for base, other in zip(self.results[baseline], self.results[policy]):
+            if base.epochs and other.epochs:
+                yield base, other
 
     def normalized_dtm_events(self, baseline: str, policy: str) -> np.ndarray:
         """Per-chip DTM events of ``policy`` / ``baseline`` (Fig. 7).
@@ -49,24 +79,29 @@ class CampaignResult:
         normalize against).
         """
         out = []
-        for base, other in zip(self.results[baseline], self.results[policy]):
+        for base, other in self._pairs(baseline, policy):
             if base.total_dtm_events() > 0:
                 out.append(other.total_dtm_events() / base.total_dtm_events())
         return np.array(out)
 
     def normalized_temp_rise(self, baseline: str, policy: str) -> np.ndarray:
-        """Per-chip mean temperature-over-ambient ratio (Fig. 8)."""
+        """Per-chip mean temperature-over-ambient ratio (Fig. 8).
+
+        Chips whose baseline rise is zero or negative are skipped (no
+        meaningful rise to normalize against), like
+        :meth:`normalized_dtm_events` skips event-free baselines.
+        """
         out = []
-        for base, other in zip(self.results[baseline], self.results[policy]):
+        for base, other in self._pairs(baseline, policy):
             rise_base = base.mean_temp_rise_k(AMBIENT_KELVIN)
-            rise_other = other.mean_temp_rise_k(AMBIENT_KELVIN)
-            out.append(rise_other / rise_base)
+            if rise_base > 0.0:
+                out.append(other.mean_temp_rise_k(AMBIENT_KELVIN) / rise_base)
         return np.array(out)
 
     def normalized_chip_fmax_aging(self, baseline: str, policy: str) -> np.ndarray:
         """Per-chip max-frequency aging-rate ratio (Fig. 9)."""
         out = []
-        for base, other in zip(self.results[baseline], self.results[policy]):
+        for base, other in self._pairs(baseline, policy):
             rate_base = base.chip_fmax_aging_rate()
             if rate_base > 1e-9:
                 out.append(other.chip_fmax_aging_rate() / rate_base)
@@ -75,95 +110,48 @@ class CampaignResult:
     def normalized_avg_fmax_aging(self, baseline: str, policy: str) -> np.ndarray:
         """Per-chip average-frequency aging-rate ratio (Fig. 10)."""
         out = []
-        for base, other in zip(self.results[baseline], self.results[policy]):
+        for base, other in self._pairs(baseline, policy):
             rate_base = base.avg_fmax_aging_rate()
             if rate_base > 1e-9:
                 out.append(other.avg_fmax_aging_rate() / rate_base)
         return np.array(out)
 
     def mean_avg_fmax_trajectory(self, policy: str) -> np.ndarray:
-        """Population-mean average-frequency trajectory (Fig. 11 right)."""
-        return np.mean(
-            [r.avg_fmax_trajectory_ghz() for r in self.results[policy]], axis=0
-        )
+        """Population-mean average-frequency trajectory (Fig. 11 right).
+
+        Empty (failed-job) lifetimes are skipped; with no completed
+        lifetime at all the trajectory is empty.  Completed lifetimes
+        with *differing* epoch counts cannot be averaged elementwise and
+        raise ``ValueError`` instead of broadcasting garbage.
+        """
+        trajectories = [
+            r.avg_fmax_trajectory_ghz() for r in self.results[policy] if r.epochs
+        ]
+        if not trajectories:
+            return np.array([])
+        lengths = {t.shape[0] for t in trajectories}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"cannot average trajectories of policy {policy!r}: "
+                f"inhomogeneous epoch counts {sorted(lengths)}"
+            )
+        return np.mean(trajectories, axis=0)
 
     def mean_lifetime_at_requirement(
         self, policy: str, required_avg_ghz: float
     ) -> float:
-        """Population-mean lifetime at a frequency requirement."""
-        return float(
-            np.mean(
-                [
-                    r.lifetime_at_requirement_years(required_avg_ghz)
-                    for r in self.results[policy]
-                ]
-            )
-        )
+        """Population-mean lifetime at a frequency requirement.
 
-
-#: Campaign-wide invariants shared by every job of the current campaign.
-#: In a spawn worker :func:`_init_worker` fills it once from the pool
-#: initializer (the table/config/knobs are pickled once per *worker*
-#: instead of once per *job*); the serial path calls the same
-#: initializer in-process so both paths run identical code.
-_SHARED: dict = {}
-
-
-def _init_worker(shared: dict) -> None:
-    """Install the campaign invariants and pre-warm the thermal cache.
-
-    Warming happens with the obs registry suppressed (see
-    :func:`repro.thermal.cache.warm_thermal_cache`), so every job —
-    serial in the parent or parallel in any worker — later sees an
-    identically warm cache and records identical ``thermal.*`` counters.
-    That is what keeps parallel metric aggregates bit-identical to
-    serial ones even though each worker process has its own cache.
-    """
-    _SHARED.clear()
-    _SHARED.update(shared)
-    # Spawn workers start with a fresh (enabled) cache; mirror the
-    # parent's setting so a cache-disabled campaign is cache-disabled
-    # everywhere and counters again match the serial run.
-    configure_thermal_cache(enabled=shared["thermal_cache_enabled"])
-    if shared["thermal_cache_enabled"]:
-        config = shared["config"]
-        for floorplan in shared["warm_floorplans"]:
-            warm_thermal_cache(floorplan, dt_s=config.control_dt_s)
-
-
-def _run_one(job):
-    """Worker entry: one (policy, chip) lifetime.  Module-level so it
-    pickles for multiprocessing; the shared table/config/knobs come from
-    :data:`_SHARED`, not the job tuple.
-
-    Returns ``(LifetimeResult, MetricsSnapshot | None)``.  In the serial
-    path metrics flow straight into the caller's registry and the
-    snapshot is ``None``; in a spawn worker the process-global registry
-    is the no-op default, so when the parent asked for metrics a fresh
-    per-job registry collects them and its picklable snapshot rides home
-    with the result for the parent to merge — making parallel campaign
-    aggregation identical to serial.
-    """
-    policy, chip = job
-    table = _SHARED["table"]
-    config = _SHARED["config"]
-    registry = get_registry()
-    fresh = _SHARED["collect"] and not registry.enabled
-    if fresh:
-        registry = MetricsRegistry(trace=_SHARED["tracing"])
-    with use_registry(registry):
-        with registry.timer(
-            "campaign.run", policy=policy.name, chip=chip.chip_id
-        ):
-            ctx = ChipContext(
-                chip, table, dark_fraction_min=config.dark_fraction_min
-            )
-            simulator = LifetimeSimulator(
-                config, dtm=_SHARED["dtm"], mix_factory=_SHARED["mix_factory"]
-            )
-            result = simulator.run(ctx, policy)
-    registry.inc("campaign.runs")
-    return result, (registry.snapshot() if fresh else None)
+        Computed over completed lifetimes (``nan`` when none completed).
+        """
+        lifetimes = [
+            r.lifetime_at_requirement_years(required_avg_ghz)
+            for r in self.results[policy]
+            if r.epochs
+        ]
+        if not lifetimes:
+            return float("nan")
+        return float(np.mean(lifetimes))
 
 
 def _distinct_floorplans(population) -> list:
@@ -185,6 +173,10 @@ def run_campaign(
     workers: int = 1,
     dtm=None,
     mix_factory=None,
+    retries: int = 0,
+    job_timeout_s: float | None = None,
+    allow_partial: bool = False,
+    checkpoint=None,
 ) -> CampaignResult:
     """Run every policy over the same chip population.
 
@@ -201,27 +193,52 @@ def run_campaign(
         Pre-built silicon and aging table, for reuse across campaigns.
     progress:
         Optional callable ``(policy_name, chip_id)`` invoked per run —
-        before each run in serial mode, on each completion in parallel
-        mode (results stream back in submission order).
+        before each run in serial mode (job order), on each *completion*
+        in pooled mode.  Pooled completions arrive in completion order,
+        not submission order, so progress never stalls behind the
+        slowest early job; jobs skipped by a checkpoint resume are not
+        reported.
     workers:
         Process count.  Every (policy, chip) lifetime is independent,
         so results are bit-identical to the serial run; use this for
         paper-scale campaigns.  The shared table/config/knobs ship once
-        per worker through the pool initializer (not once per job), jobs
-        stream in chunks to amortize IPC, and each worker's thermal
-        compute cache is pre-warmed so no job pays a first-miss
-        factorization.
+        per worker through the pool initializer (not once per job), and
+        each worker's thermal compute cache is pre-warmed so no job pays
+        a first-miss factorization.
     dtm, mix_factory:
         Forwarded to every :class:`LifetimeSimulator` (``None`` = the
-        simulator's defaults).  With ``workers > 1`` both must pickle
+        simulator's defaults).  With a worker pool both must pickle
         for the spawn workers; an unpicklable knob raises ``ValueError``
         up front instead of silently substituting the default.
+    retries:
+        Re-attempts granted to a job whose run raises (or whose worker
+        dies or times out) before it counts as failed.  Retries run
+        against the same shared invariants; after a timeout they run in
+        a fresh worker.
+    job_timeout_s:
+        Per-job wall-clock deadline.  Timeouts need a preemptable
+        worker, so setting this routes even ``workers=1`` campaigns
+        through a one-process spawn pool (results stay bit-identical).
+    allow_partial:
+        When ``True`` a job that exhausts its retries degrades to an
+        empty lifetime plus a :class:`JobFailure` in
+        ``CampaignResult.failures`` instead of aborting the campaign.
+        The default stays fail-fast: the first exhausted job raises
+        :class:`CampaignJobError`.
+    checkpoint:
+        Path of a JSONL checkpoint stream (see
+        :mod:`repro.sim.checkpoint`).  Completed jobs are appended as
+        they finish; re-running with the same path skips them and
+        replays their results and metric snapshots, making the final
+        aggregates bit-identical to an uninterrupted run.  Failed jobs
+        are never checkpointed, so a resume retries them.
 
     Metrics: when the global :mod:`repro.obs` registry is enabled, every
     run records a ``campaign.run`` span plus the simulator/thermal
-    counters.  Parallel workers collect into per-job registries whose
-    snapshots are merged back here, so the aggregate is identical to a
-    serial run's.
+    counters; supervision adds ``campaign.retries``,
+    ``campaign.job_failures`` and ``campaign.resumed_jobs``.  Parallel
+    workers collect into per-job registries whose snapshots are merged
+    back here, so the aggregate is identical to a serial run's.
     """
     config = config if config is not None else SimulationConfig()
     if population is None:
@@ -232,8 +249,11 @@ def run_campaign(
         raise ValueError("workers must be >= 1")
 
     policies = list(policies)
-    campaign = CampaignResult(config=config)
     registry = get_registry()
+    store = digest = None
+    if checkpoint is not None:
+        store = CampaignCheckpoint(checkpoint)
+        digest = campaign_digest(config, population, table)
     shared = {
         "table": table,
         "config": config,
@@ -241,19 +261,17 @@ def run_campaign(
         "mix_factory": mix_factory,
         "collect": registry.enabled,
         "tracing": registry.tracing,
+        # Checkpointing stores per-job snapshots; retrying must discard
+        # a failed attempt's partial metrics.  Both need job-isolated
+        # registries even in the serial path.
+        "isolate_metrics": bool(
+            store is not None or retries > 0 or allow_partial
+        ),
         "warm_floorplans": _distinct_floorplans(population),
         "thermal_cache_enabled": get_thermal_cache().enabled,
     }
     jobs = [(policy, chip) for policy in policies for chip in population]
-    if workers == 1:
-        _init_worker(shared)
-        flat: list[LifetimeResult] = []
-        for job in jobs:
-            if progress is not None:
-                progress(job[0].name, job[1].chip_id)
-            result, _ = _run_one(job)
-            flat.append(result)
-    else:
+    if workers > 1 or job_timeout_s is not None:
         for name, knob in (("dtm", dtm), ("mix_factory", mix_factory)):
             if knob is None:
                 continue
@@ -265,26 +283,23 @@ def run_campaign(
                     f"(workers={workers}); got {knob!r} ({error}). "
                     "Use a module-level callable, or workers=1."
                 ) from error
-        # Also warm the parent's cache (silently): with metrics enabled
-        # the serial and parallel paths must record identical thermal
-        # counters, so neither may pay a first-miss inside a job.
-        _init_worker(shared)
-        # Chunked dispatch amortizes IPC overhead; four chunks per
-        # worker keeps the tail balanced while cutting per-job pickling
-        # round-trips.  imap preserves submission order either way.
-        chunksize = max(1, len(jobs) // (workers * 4))
-        flat = []
-        with multiprocessing.get_context("spawn").Pool(
-            workers, initializer=_init_worker, initargs=(shared,)
-        ) as pool:
-            for job, (result, snapshot) in zip(
-                jobs, pool.imap(_run_one, jobs, chunksize=chunksize)
-            ):
-                if snapshot is not None:
-                    registry.merge_snapshot(snapshot)
-                if progress is not None:
-                    progress(job[0].name, job[1].chip_id)
-                flat.append(result)
+    # Initialize the parent too (even when a pool does the work): with
+    # metrics enabled the serial and pooled paths must record identical
+    # thermal counters, so neither may pay a first-miss inside a job.
+    _init_worker(shared)
+    flat, failures = run_supervised_jobs(
+        jobs,
+        shared,
+        config=config,
+        workers=workers,
+        retries=retries,
+        job_timeout_s=job_timeout_s,
+        allow_partial=allow_partial,
+        checkpoint=store,
+        digest=digest,
+        progress=progress,
+    )
+    campaign = CampaignResult(config=config, failures=failures)
     per_policy = len(population.chips)
     for index, policy in enumerate(policies):
         campaign.results[policy.name] = flat[

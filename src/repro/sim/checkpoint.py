@@ -1,0 +1,196 @@
+"""Campaign checkpointing: a JSONL stream of completed jobs.
+
+A paper-scale campaign is minutes-to-hours of compute spread over
+hundreds of independent ``(policy, chip, dark_fraction)`` jobs.  The
+checkpoint makes that work durable: every completed job appends one
+self-contained JSONL record (its :class:`~repro.sim.results.LifetimeResult`
+plus, when observability is on, its per-job metrics snapshot), flushed
+to disk immediately.  An interrupted campaign re-run with the same
+checkpoint path skips every recorded job and merges the stored results
+and metrics back in, so the final aggregates are bit-identical to an
+uninterrupted run.
+
+Records are keyed by ``(policy_name, chip_id, dark_fraction_min,
+config_digest)``.  The digest hashes the full
+:class:`~repro.sim.config.SimulationConfig` *and* fingerprints of the
+chip population and aging table, so a checkpoint can never leak results
+across different configurations, silicon, or physics — a mismatched run
+simply sees no usable records.  One file therefore serves a whole
+dark-fraction sweep: each floor's jobs carry a distinct digest.
+
+The format tolerates dirty shutdowns: a process killed mid-append
+leaves at most one truncated final line, which the loader skips.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.obs import MetricsSnapshot, TimerStats
+from repro.sim.export import result_from_dict, result_to_dict
+from repro.sim.results import LifetimeResult
+
+#: Format marker written into every record; bumped on layout changes so
+#: an old checkpoint degrades to "no usable records" instead of
+#: mis-parsing.
+CHECKPOINT_VERSION = 1
+
+
+def _hash_array(hasher, array) -> None:
+    data = np.ascontiguousarray(array)
+    hasher.update(str(data.dtype).encode())
+    hasher.update(str(data.shape).encode())
+    hasher.update(data.tobytes())
+
+
+def campaign_digest(config, population=None, table=None) -> str:
+    """Hex digest identifying a campaign's invariants.
+
+    Hashes every :class:`SimulationConfig` field plus (when given) the
+    population's silicon and the aging table's grids, so two campaigns
+    share a digest exactly when their jobs are interchangeable.
+    """
+    hasher = hashlib.sha256()
+    for f in fields(config):
+        hasher.update(f.name.encode())
+        hasher.update(repr(getattr(config, f.name)).encode())
+    if population is not None:
+        for chip in population:
+            hasher.update(chip.chip_id.encode())
+            _hash_array(hasher, chip.fmax_init_ghz)
+            _hash_array(hasher, chip.leakage_scale)
+    if table is not None:
+        for array in (
+            table.temp_grid_k,
+            table.duty_grid,
+            table.age_grid_years,
+            table.values,
+        ):
+            _hash_array(hasher, array)
+    return hasher.hexdigest()[:16]
+
+
+def job_key(
+    policy_name: str, chip_id: str, dark_fraction_min: float, digest: str
+) -> str:
+    """The checkpoint key of one campaign job."""
+    return f"{policy_name}|{chip_id}|{float(dark_fraction_min)!r}|{digest}"
+
+
+# ----------------------------------------------------------------------
+# snapshot (de)serialization
+# ----------------------------------------------------------------------
+def snapshot_to_dict(snapshot: MetricsSnapshot) -> dict:
+    """JSON-compatible form of a metrics snapshot (lossless)."""
+    return {
+        "counters": dict(snapshot.counters),
+        "gauges": dict(snapshot.gauges),
+        "timers": {
+            name: [s.count, s.total_s, s.min_s, s.max_s]
+            for name, s in snapshot.timers.items()
+        },
+        "events": [dict(e) for e in snapshot.events],
+        "dropped_events": snapshot.dropped_events,
+    }
+
+
+def snapshot_from_dict(data: dict) -> MetricsSnapshot:
+    """Inverse of :func:`snapshot_to_dict`."""
+    return MetricsSnapshot(
+        counters=dict(data.get("counters", {})),
+        gauges=dict(data.get("gauges", {})),
+        timers={
+            name: TimerStats(int(c), float(t), float(lo), float(hi))
+            for name, (c, t, lo, hi) in data.get("timers", {}).items()
+        },
+        events=[dict(e) for e in data.get("events", [])],
+        dropped_events=int(data.get("dropped_events", 0)),
+    )
+
+
+@dataclass
+class CheckpointRecord:
+    """One completed job as stored on disk."""
+
+    key: str
+    result: LifetimeResult
+    snapshot: MetricsSnapshot | None
+
+
+class CampaignCheckpoint:
+    """Append-only JSONL store of completed campaign jobs.
+
+    Opening the store loads every valid record already on disk (an
+    absent file is an empty store).  :meth:`append` writes one record
+    and flushes it, so a crash after a job completes never loses that
+    job.  Truncated or malformed lines — the signature of a dirty
+    shutdown — are silently skipped on load; their jobs simply re-run.
+    """
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        self._records: dict[str, CheckpointRecord] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    if data.get("version") != CHECKPOINT_VERSION:
+                        continue
+                    record = CheckpointRecord(
+                        key=data["key"],
+                        result=result_from_dict(data["result"]),
+                        snapshot=(
+                            snapshot_from_dict(data["snapshot"])
+                            if data.get("snapshot") is not None
+                            else None
+                        ),
+                    )
+                except (ValueError, KeyError, TypeError):
+                    continue
+                self._records[record.key] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> CheckpointRecord | None:
+        """The stored record for ``key`` (``None`` when not recorded)."""
+        return self._records.get(key)
+
+    def append(
+        self,
+        key: str,
+        result: LifetimeResult,
+        snapshot: MetricsSnapshot | None = None,
+    ) -> None:
+        """Durably record one completed job."""
+        record = CheckpointRecord(key=key, result=result, snapshot=snapshot)
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "key": key,
+            "result": result_to_dict(result),
+            "snapshot": (
+                snapshot_to_dict(snapshot) if snapshot is not None else None
+            ),
+        }
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(payload))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records[key] = record

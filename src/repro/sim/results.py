@@ -52,7 +52,17 @@ class EpochRecord:
 
 @dataclass
 class LifetimeResult:
-    """A full lifetime simulation of one (chip, policy) pair."""
+    """A full lifetime simulation of one (chip, policy) pair.
+
+    A result may be *empty* (zero epochs): that is the degraded shape a
+    supervised campaign produces for a job that exhausted its retries
+    under ``allow_partial=True``.  Every accessor is defined on the
+    empty shape — trajectories have a zero-length leading axis, event
+    totals are 0, aging rates are 0.0 (nothing aged because nothing
+    ran), and the time-averaged temperature/communication summaries are
+    ``nan`` (there is no window to average) — so downstream aggregation
+    can skip or propagate empties without crashes or warnings.
+    """
 
     chip_id: str
     policy_name: str
@@ -71,6 +81,8 @@ class LifetimeResult:
 
     def health_trajectory(self) -> np.ndarray:
         """``(num_epochs, num_cores)`` health after each epoch."""
+        if not self.epochs:
+            return np.empty((0, self.fmax_init_ghz.size))
         return np.array([e.health_after for e in self.epochs])
 
     def fmax_trajectory_ghz(self) -> np.ndarray:
@@ -97,7 +109,12 @@ class LifetimeResult:
         return sum(e.dtm_migrations for e in self.epochs)
 
     def mean_temp_rise_k(self, ambient_k: float) -> float:
-        """Lifetime-average temperature over ambient (Fig. 8)."""
+        """Lifetime-average temperature over ambient (Fig. 8).
+
+        ``nan`` for an empty lifetime (no window to average).
+        """
+        if not self.epochs:
+            return float("nan")
         return float(
             np.mean([e.avg_temp_k for e in self.epochs]) - ambient_k
         )
@@ -107,14 +124,22 @@ class LifetimeResult:
 
         ``(fmax_chip(0) - fmax_chip(end)) / fmax_chip(0)`` where
         ``fmax_chip`` is the maximum single-core frequency — Fig. 9's
-        aging-rate quantity (lower is better).
+        aging-rate quantity (lower is better).  An empty lifetime has
+        seen no aging: 0.0.
         """
+        if not self.epochs:
+            return 0.0
         start = float(self.fmax_init_ghz.max())
         end = float(self.chip_fmax_trajectory_ghz()[-1])
         return (start - end) / start
 
     def avg_fmax_aging_rate(self) -> float:
-        """Relative loss of the core-average frequency (Fig. 10)."""
+        """Relative loss of the core-average frequency (Fig. 10).
+
+        0.0 for an empty lifetime, like :meth:`chip_fmax_aging_rate`.
+        """
+        if not self.epochs:
+            return 0.0
         start = float(self.fmax_init_ghz.mean())
         end = float(self.avg_fmax_trajectory_ghz()[-1])
         return (start - end) / start
@@ -147,5 +172,10 @@ class LifetimeResult:
         return sum(e.qos_violations for e in self.epochs)
 
     def mean_comm_cost(self) -> float:
-        """Lifetime-average NoC cost (GB/s-hops) of the mappings."""
+        """Lifetime-average NoC cost (GB/s-hops) of the mappings.
+
+        ``nan`` for an empty lifetime.
+        """
+        if not self.epochs:
+            return float("nan")
         return float(np.mean([e.comm_weighted_hops for e in self.epochs]))

@@ -1,0 +1,419 @@
+"""Job supervision for campaigns: timeouts, retries, partial results.
+
+A campaign is a list of independent ``(policy, chip)`` lifetimes.  The
+supervisor runs that list to completion in the presence of failing,
+crashing, or hanging jobs:
+
+* **Bounded retry** — a job whose attempt raises (or whose worker dies
+  or exceeds the per-job timeout) is re-attempted up to ``retries``
+  times, always against the same shared campaign invariants.  Retries
+  after a timeout run in a *fresh* worker: the hung pool is torn down
+  and rebuilt through the same initializer that provisioned it.
+* **Structured failure** — a job that exhausts its attempts becomes a
+  :class:`JobFailure` record.  By default that aborts the campaign
+  (:class:`CampaignJobError`); with ``allow_partial=True`` the campaign
+  completes, the failed slot holds an *empty* lifetime (zero epochs,
+  same chip identity, so population alignment survives), and the
+  failures ride home on the result.
+* **Checkpoint/resume** — with a :class:`~repro.sim.checkpoint.\
+CampaignCheckpoint`, every completed job is durably recorded and a
+  re-run skips recorded jobs, replaying their results and metrics
+  snapshots instead of recomputing them.
+
+Both the serial and the pooled path run through this module — one
+attempt-accounting/checkpoint code path, two execution backends.  The
+serial backend runs jobs in-process (and therefore cannot preempt a
+hung job: requesting ``job_timeout_s`` routes even ``workers=1``
+campaigns through a one-process pool so the timeout is enforceable).
+
+Failure telemetry flows through :mod:`repro.obs`:
+``campaign.retries`` (re-attempts dispatched), ``campaign.job_failures``
+(jobs exhausted), ``campaign.resumed_jobs`` (jobs skipped thanks to a
+checkpoint), and ``campaign.jobs_executed`` (jobs actually run to
+completion in *this* process — unlike ``campaign.runs`` it is never
+replayed from checkpoint snapshots, so ``jobs_executed + resumed_jobs``
+always equals the job count).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.sim.checkpoint import CampaignCheckpoint, job_key
+from repro.sim.context import ChipContext
+from repro.sim.results import LifetimeResult
+from repro.sim.simulator import LifetimeSimulator
+from repro.thermal.cache import configure_thermal_cache, warm_thermal_cache
+
+#: How long the pooled supervisor sleeps between completion scans.  Low
+#: enough that dispatch latency is invisible next to a lifetime job
+#: (hundreds of ms to seconds), high enough to keep the parent idle.
+_POLL_INTERVAL_S = 0.02
+
+#: Campaign-wide invariants shared by every job of the current campaign.
+#: In a spawn worker :func:`_init_worker` fills it once from the pool
+#: initializer (the table/config/knobs are pickled once per *worker*
+#: instead of once per *job*); the serial path calls the same
+#: initializer in-process so both paths run identical code.
+_SHARED: dict = {}
+
+
+def _init_worker(shared: dict) -> None:
+    """Install the campaign invariants and pre-warm the thermal cache.
+
+    Warming happens with the obs registry suppressed (see
+    :func:`repro.thermal.cache.warm_thermal_cache`), so every job —
+    serial in the parent or parallel in any worker — later sees an
+    identically warm cache and records identical ``thermal.*`` counters.
+    That is what keeps parallel metric aggregates bit-identical to
+    serial ones even though each worker process has its own cache.
+    """
+    _SHARED.clear()
+    _SHARED.update(shared)
+    # Spawn workers start with a fresh (enabled) cache; mirror the
+    # parent's setting so a cache-disabled campaign is cache-disabled
+    # everywhere and counters again match the serial run.
+    configure_thermal_cache(enabled=shared["thermal_cache_enabled"])
+    if shared["thermal_cache_enabled"]:
+        config = shared["config"]
+        for floorplan in shared["warm_floorplans"]:
+            warm_thermal_cache(floorplan, dt_s=config.control_dt_s)
+
+
+def _run_one(job):
+    """Worker entry: one (policy, chip) lifetime.  Module-level so it
+    pickles for multiprocessing; the shared table/config/knobs come from
+    :data:`_SHARED`, not the job tuple.
+
+    Returns ``(LifetimeResult, MetricsSnapshot | None)``.  In the plain
+    serial path metrics flow straight into the caller's registry and the
+    snapshot is ``None``.  A fresh per-job registry is used instead —
+    and its picklable snapshot returned for the caller to merge — in a
+    spawn worker (whose process-global registry is the no-op default)
+    and whenever the supervisor asked for isolated metrics
+    (``_SHARED["isolate_metrics"]``): checkpointing needs the per-job
+    snapshot to store, and retrying needs a failed attempt's partial
+    metrics discarded rather than double-counted.  Merging the per-job
+    snapshots reproduces direct accumulation exactly, so all paths
+    aggregate identically.
+    """
+    policy, chip = job
+    table = _SHARED["table"]
+    config = _SHARED["config"]
+    registry = get_registry()
+    fresh = _SHARED["collect"] and (
+        not registry.enabled or _SHARED.get("isolate_metrics", False)
+    )
+    if fresh:
+        registry = MetricsRegistry(trace=_SHARED["tracing"])
+    with use_registry(registry):
+        with registry.timer(
+            "campaign.run", policy=policy.name, chip=chip.chip_id
+        ):
+            ctx = ChipContext(
+                chip, table, dark_fraction_min=config.dark_fraction_min
+            )
+            simulator = LifetimeSimulator(
+                config, dtm=_SHARED["dtm"], mix_factory=_SHARED["mix_factory"]
+            )
+            result = simulator.run(ctx, policy)
+    registry.inc("campaign.runs")
+    return result, (registry.snapshot() if fresh else None)
+
+
+def _pool_entry(indexed_job):
+    """Pool wrapper around :func:`_run_one` that never raises.
+
+    Exceptions are flattened into a tagged tuple so one bad job cannot
+    poison the result stream; the supervisor turns the tag back into a
+    retry or a :class:`JobFailure`.
+    """
+    index, job = indexed_job
+    try:
+        result, snapshot = _run_one(job)
+    except Exception as error:  # noqa: BLE001 - the whole point
+        return index, False, f"{type(error).__name__}: {error}", None
+    return index, True, result, snapshot
+
+
+@dataclass
+class JobFailure:
+    """One campaign job that exhausted its retry budget."""
+
+    policy_name: str
+    chip_id: str
+    dark_fraction_min: float
+    #: ``"error"`` (the job raised) or ``"timeout"`` (the worker hung or
+    #: died and the per-job deadline expired).
+    kind: str
+    #: Human-readable description of the last attempt's failure.
+    message: str
+    #: Total attempts made (first run + retries).
+    attempts: int
+
+    def describe(self) -> str:
+        """One-line human-readable account of the failed job."""
+        return (
+            f"{self.policy_name}/{self.chip_id} "
+            f"(dark>={self.dark_fraction_min:g}) failed after "
+            f"{self.attempts} attempt(s): [{self.kind}] {self.message}"
+        )
+
+
+class CampaignJobError(RuntimeError):
+    """A job exhausted its retries in a fail-fast campaign."""
+
+    def __init__(self, failure: JobFailure):
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
+def empty_lifetime(policy, chip, config) -> LifetimeResult:
+    """The degraded stand-in for a failed job: zero epochs, same chip.
+
+    Keeps ``CampaignResult`` population alignment (list positions still
+    map chip-for-chip across policies); every aggregation method
+    recognizes the empty shape and skips it.
+    """
+    return LifetimeResult(
+        chip_id=chip.chip_id,
+        policy_name=policy.name,
+        dark_fraction_min=config.dark_fraction_min,
+        fmax_init_ghz=chip.fmax_init_ghz.copy(),
+    )
+
+
+class _JobState:
+    """Per-job supervision bookkeeping."""
+
+    __slots__ = ("index", "job", "attempts")
+
+    def __init__(self, index: int, job):
+        self.index = index
+        self.job = job
+        self.attempts = 0
+
+
+def run_supervised_jobs(
+    jobs,
+    shared: dict,
+    *,
+    config,
+    workers: int = 1,
+    retries: int = 0,
+    job_timeout_s: float | None = None,
+    allow_partial: bool = False,
+    checkpoint: CampaignCheckpoint | None = None,
+    digest: str | None = None,
+    progress=None,
+) -> tuple[list[LifetimeResult], list[JobFailure]]:
+    """Run ``jobs`` (a list of ``(policy, chip)``) under supervision.
+
+    Returns results aligned index-for-index with ``jobs`` plus the list
+    of failures (empty unless ``allow_partial`` let some through).  See
+    the module docstring for the semantics of each knob.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if job_timeout_s is not None and job_timeout_s <= 0:
+        raise ValueError("job_timeout_s must be positive")
+    if checkpoint is not None and digest is None:
+        raise ValueError("checkpointing requires the campaign digest")
+
+    registry = get_registry()
+    results: list = [None] * len(jobs)
+    failures: list[JobFailure] = []
+    keys: list[str | None] = [None] * len(jobs)
+
+    # Resume: replay recorded jobs before any dispatch.
+    remaining: list[_JobState] = []
+    for index, (policy, chip) in enumerate(jobs):
+        if checkpoint is not None:
+            keys[index] = job_key(
+                policy.name, chip.chip_id, config.dark_fraction_min, digest
+            )
+            record = checkpoint.get(keys[index])
+            if record is not None:
+                results[index] = record.result
+                if record.snapshot is not None:
+                    registry.merge_snapshot(record.snapshot)
+                registry.inc("campaign.resumed_jobs")
+                continue
+        remaining.append(_JobState(index, (policy, chip)))
+
+    def record_success(state: _JobState, result, snapshot) -> None:
+        if snapshot is not None:
+            registry.merge_snapshot(snapshot)
+        if checkpoint is not None:
+            checkpoint.append(keys[state.index], result, snapshot)
+        registry.inc("campaign.jobs_executed")
+        results[state.index] = result
+
+    def record_exhaustion(state: _JobState, kind: str, message: str) -> None:
+        policy, chip = state.job
+        failure = JobFailure(
+            policy_name=policy.name,
+            chip_id=chip.chip_id,
+            dark_fraction_min=config.dark_fraction_min,
+            kind=kind,
+            message=message,
+            attempts=state.attempts,
+        )
+        registry.inc("campaign.job_failures")
+        if not allow_partial:
+            raise CampaignJobError(failure)
+        failures.append(failure)
+        results[state.index] = empty_lifetime(policy, chip, config)
+
+    use_pool = workers > 1 or job_timeout_s is not None
+    if use_pool:
+        _run_pooled(
+            remaining,
+            shared,
+            workers=workers,
+            retries=retries,
+            job_timeout_s=job_timeout_s,
+            progress=progress,
+            registry=registry,
+            record_success=record_success,
+            record_exhaustion=record_exhaustion,
+        )
+    else:
+        _run_serial(
+            remaining,
+            retries=retries,
+            progress=progress,
+            registry=registry,
+            record_success=record_success,
+            record_exhaustion=record_exhaustion,
+        )
+    return results, failures
+
+
+def _run_serial(
+    states, *, retries, progress, registry, record_success, record_exhaustion
+) -> None:
+    """In-process backend: jobs run one by one, attempts loop inline."""
+    for state in states:
+        policy, chip = state.job
+        if progress is not None:
+            progress(policy.name, chip.chip_id)
+        while True:
+            state.attempts += 1
+            try:
+                result, snapshot = _run_one(state.job)
+            except Exception as error:  # noqa: BLE001 - supervised
+                if state.attempts <= retries:
+                    registry.inc("campaign.retries")
+                    continue
+                record_exhaustion(
+                    state, "error", f"{type(error).__name__}: {error}"
+                )
+                break
+            record_success(state, result, snapshot)
+            break
+
+
+def _run_pooled(
+    states,
+    shared,
+    *,
+    workers,
+    retries,
+    job_timeout_s,
+    progress,
+    registry,
+    record_success,
+    record_exhaustion,
+) -> None:
+    """Spawn-pool backend with per-job deadlines and pool resurrection.
+
+    At most one job per worker is in flight, so a job's deadline starts
+    when it actually starts running, not when it was queued.  A hung or
+    dead worker cannot be killed individually inside a
+    :class:`multiprocessing.Pool`, so a timeout tears the whole pool
+    down, rebuilds it through the same initializer (fresh workers, same
+    shared invariants), and re-queues the innocent in-flight jobs
+    without charging them an attempt.
+    """
+    context = multiprocessing.get_context("spawn")
+    pending = list(states)  # FIFO via pop(0); campaign scale is small
+    inflight: dict[int, tuple] = {}  # index -> (async_result, deadline, state)
+    pool = context.Pool(workers, initializer=_init_worker, initargs=(shared,))
+    try:
+        while pending or inflight:
+            while pending and len(inflight) < workers:
+                state = pending.pop(0)
+                state.attempts += 1
+                async_result = pool.apply_async(
+                    _pool_entry, ((state.index, state.job),)
+                )
+                deadline = (
+                    time.monotonic() + job_timeout_s
+                    if job_timeout_s is not None
+                    else None
+                )
+                inflight[state.index] = (async_result, deadline, state)
+
+            ready = [
+                index
+                for index, (res, _, _) in inflight.items()
+                if res.ready()
+            ]
+            if not ready:
+                now = time.monotonic()
+                expired = [
+                    index
+                    for index, (_, deadline, _) in inflight.items()
+                    if deadline is not None and now > deadline
+                ]
+                if expired:
+                    # The pool is compromised: replace it wholesale.
+                    pool.terminate()
+                    pool.join()
+                    for index, (_, _, state) in list(inflight.items()):
+                        if index in expired:
+                            if state.attempts <= retries:
+                                registry.inc("campaign.retries")
+                                pending.insert(0, state)
+                            else:
+                                record_exhaustion(
+                                    state,
+                                    "timeout",
+                                    f"no result within {job_timeout_s:g} s "
+                                    "(worker hung or died)",
+                                )
+                        else:
+                            # Innocent bystander: its worker died with
+                            # the pool; re-run without charging a retry.
+                            state.attempts -= 1
+                            pending.insert(0, state)
+                    inflight.clear()
+                    pool = context.Pool(
+                        workers, initializer=_init_worker, initargs=(shared,)
+                    )
+                else:
+                    # Block briefly on one in-flight result; any other
+                    # completion is picked up by the next scan.
+                    next(iter(inflight.values()))[0].wait(_POLL_INTERVAL_S)
+                continue
+
+            for index in ready:
+                async_result, _, state = inflight.pop(index)
+                _, ok, payload, snapshot = async_result.get()
+                if ok:
+                    policy, chip = state.job
+                    record_success(state, payload, snapshot)
+                    if progress is not None:
+                        progress(policy.name, chip.chip_id)
+                elif state.attempts <= retries:
+                    registry.inc("campaign.retries")
+                    pending.insert(0, state)
+                else:
+                    record_exhaustion(state, "error", payload)
+    finally:
+        pool.terminate()
+        pool.join()

@@ -63,13 +63,24 @@ def sweep_dark_fractions(
     population_seed: int = 42,
     progress=None,
     workers: int = 1,
+    dtm=None,
+    mix_factory=None,
+    retries: int = 0,
+    job_timeout_s: float | None = None,
+    allow_partial: bool = False,
+    checkpoint=None,
 ) -> SweepResult:
     """Run one campaign per dark floor over shared silicon.
 
     ``policies`` is re-used across floors (policy objects must be
-    stateless between runs, which all built-ins are).  ``workers`` is
-    forwarded to every :func:`run_campaign`, so each floor's campaign
-    uses the process pool.
+    stateless between runs, which all built-ins are).  The execution
+    knobs — ``workers``, ``dtm``, ``mix_factory``, and the supervision
+    set (``retries``, ``job_timeout_s``, ``allow_partial``,
+    ``checkpoint``) — are forwarded verbatim to every
+    :func:`run_campaign`, so a custom DTM policy or a checkpointed,
+    fault-tolerant run behaves identically per floor.  One checkpoint
+    file serves the whole sweep: each floor's jobs are keyed by their
+    own dark fraction and config digest.
     """
     fractions = [float(f) for f in fractions]
     if not fractions:
@@ -90,5 +101,11 @@ def sweep_dark_fractions(
             table=table,
             progress=progress,
             workers=workers,
+            dtm=dtm,
+            mix_factory=mix_factory,
+            retries=retries,
+            job_timeout_s=job_timeout_s,
+            allow_partial=allow_partial,
+            checkpoint=checkpoint,
         )
     return result

@@ -63,6 +63,37 @@ class TestCampaignCommand:
         assert {r["policy"] for r in rows} == {"vaa", "hayat"}
 
 
+class TestCampaignSupervisionFlags:
+    def test_checkpoint_written_and_resumed(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "campaign.jsonl")
+        args = [
+            "campaign", "--chips", "1", "--years", "0.5",
+            "--checkpoint", ckpt, "--retries", "1",
+        ]
+        assert main(args) == 0
+        with open(ckpt) as handle:
+            recorded = [line for line in handle if line.strip()]
+        assert len(recorded) == 2  # one chip x {vaa, hayat}
+        capsys.readouterr()
+        # Resume: replays both jobs from the checkpoint, same report.
+        assert main(args + ["--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "Normalized comparison" in out
+        assert "campaign.resumed_jobs" in out
+        with open(ckpt) as handle:
+            assert [line for line in handle if line.strip()] == recorded
+
+    def test_allow_partial_flag_accepted(self, capsys):
+        code = main(
+            [
+                "campaign", "--chips", "1", "--years", "0.5",
+                "--allow-partial", "--job-timeout", "600",
+            ]
+        )
+        assert code == 0
+        assert "Normalized comparison" in capsys.readouterr().out
+
+
 class TestScenarioCommand:
     def test_runs_scenario_file(self, capsys, tmp_path):
         path = tmp_path / "s.json"

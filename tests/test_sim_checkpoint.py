@@ -1,0 +1,240 @@
+"""Checkpoint/resume: durable campaign jobs, bit-identical resumes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import HayatManager
+from repro.obs import MetricsRegistry, MetricsSnapshot, TimerStats, use_registry
+from repro.sim import (
+    CampaignCheckpoint,
+    CampaignJobError,
+    SimulationConfig,
+    campaign_digest,
+    job_key,
+    run_campaign,
+)
+from repro.sim.checkpoint import snapshot_from_dict, snapshot_to_dict
+from repro.sim.export import result_to_dict
+from repro.variation import generate_population
+from tests.test_sim_supervisor import AlwaysCrashPolicy, tiny_config
+
+
+class InterruptedHayat(AlwaysCrashPolicy):
+    """Hayat by name and behavior, except it dies on one chip — so the
+    records it checkpoints are resumable by a real ``HayatManager``."""
+
+    name = "hayat"
+
+
+@pytest.fixture(scope="module")
+def pieces(aging_table):
+    return tiny_config(), generate_population(3, seed=29), aging_table
+
+
+class TestDigestAndKeys:
+    def test_digest_stable_for_same_invariants(self, pieces):
+        cfg, population, table = pieces
+        assert campaign_digest(cfg, population, table) == campaign_digest(
+            cfg, population, table
+        )
+
+    def test_digest_separates_configs_and_silicon(self, pieces):
+        cfg, population, table = pieces
+        base = campaign_digest(cfg, population, table)
+        other_cfg = SimulationConfig(
+            lifetime_years=0.5, epoch_years=0.5, dark_fraction_min=0.5,
+            window_s=3.0, seed=cfg.seed + 1,
+        )
+        assert campaign_digest(other_cfg, population, table) != base
+        other_population = generate_population(3, seed=31)
+        assert campaign_digest(cfg, other_population, table) != base
+
+    def test_job_key_fields(self):
+        key = job_key("hayat", "chip-02", 0.25, "abc123")
+        assert key == "hayat|chip-02|0.25|abc123"
+
+
+class TestSnapshotRoundTrip:
+    def test_lossless(self):
+        snapshot = MetricsSnapshot(
+            counters={"a": 3, "b": 1.5},
+            gauges={"g": 2.25},
+            timers={"t": TimerStats(2, 0.1 + 0.2, 0.1, 0.2)},
+            events=[{"kind": "span", "t": 0.125, "name": "t"}],
+            dropped_events=4,
+        )
+        back = snapshot_from_dict(
+            json.loads(json.dumps(snapshot_to_dict(snapshot)))
+        )
+        assert back.counters == snapshot.counters
+        assert back.gauges == snapshot.gauges
+        assert back.events == snapshot.events
+        assert back.dropped_events == snapshot.dropped_events
+        stats = back.timers["t"]
+        assert (stats.count, stats.total_s, stats.min_s, stats.max_s) == (
+            2, 0.1 + 0.2, 0.1, 0.2,
+        )
+
+
+class TestStore:
+    def test_round_trip_is_bit_identical(self, pieces, tmp_path):
+        cfg, population, table = pieces
+        campaign = run_campaign(
+            [HayatManager()], config=cfg,
+            population=generate_population(1, seed=29), table=table,
+        )
+        result = campaign.results["hayat"][0]
+        path = str(tmp_path / "ckpt.jsonl")
+        store = CampaignCheckpoint(path)
+        store.append("k", result, None)
+        reloaded = CampaignCheckpoint(path).get("k").result
+        assert result_to_dict(reloaded) == result_to_dict(result)
+        assert reloaded.fmax_init_ghz.dtype == result.fmax_init_ghz.dtype
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        good = json.dumps(
+            {
+                "version": 1,
+                "key": "k",
+                "result": {
+                    "chip_id": "c", "policy_name": "p",
+                    "dark_fraction_min": 0.5, "fmax_init_ghz": [1.0],
+                    "epochs": [],
+                },
+                "snapshot": None,
+            }
+        )
+        path.write_text(good + "\n" + good[: len(good) // 2])
+        store = CampaignCheckpoint(str(path))
+        assert len(store) == 1 and "k" in store
+
+    def test_unknown_version_is_ignored(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text(json.dumps({"version": 999, "key": "k"}) + "\n")
+        assert len(CampaignCheckpoint(str(path))) == 0
+
+
+class TestResume:
+    def test_kill_mid_campaign_then_resume(self, pieces, tmp_path):
+        """The acceptance scenario: a campaign dies after N of M jobs;
+        the resumed run executes only the M-N survivors and reproduces
+        the uninterrupted campaign bit for bit."""
+        cfg, population, table = pieces
+        path = str(tmp_path / "campaign.jsonl")
+
+        # Uninterrupted reference run (no checkpoint involved).
+        reference_registry = MetricsRegistry()
+        with use_registry(reference_registry):
+            reference = run_campaign(
+                [HayatManager()],
+                config=cfg, population=population, table=table,
+            )
+
+        # Run 1: job 2 of 3 (chip-01) crashes fail-fast -> the process
+        # "dies" with exactly one job checkpointed.  It collects metrics
+        # so the record carries its snapshot for the resume to replay.
+        with use_registry(MetricsRegistry()):
+            with pytest.raises(CampaignJobError):
+                run_campaign(
+                    [InterruptedHayat("chip-01")],
+                    config=cfg, population=population, table=table,
+                    checkpoint=path,
+                )
+        assert len(CampaignCheckpoint(path)) == 1
+
+        # Run 2: resume with the fault gone.  Only the two unrecorded
+        # jobs execute; the checkpointed one is replayed.
+        resumed_registry = MetricsRegistry()
+        with use_registry(resumed_registry):
+            resumed = run_campaign(
+                [HayatManager()],
+                config=cfg, population=population, table=table,
+                checkpoint=path,
+            )
+        assert resumed_registry.counter("campaign.resumed_jobs") == 1
+        assert resumed_registry.counter("campaign.jobs_executed") == 2
+
+        # Bit-identical results...
+        for a, b in zip(
+            reference.results["hayat"], resumed.results["hayat"]
+        ):
+            assert result_to_dict(a) == result_to_dict(b)
+        # ...and bit-identical merged engine metrics.  Only the
+        # supervision meta-counters (what was resumed vs executed here)
+        # may differ between the two runs.
+        meta = {"campaign.resumed_jobs", "campaign.jobs_executed"}
+        reference_counters = {
+            k: v
+            for k, v in reference_registry.snapshot().counters.items()
+            if k not in meta
+        }
+        resumed_counters = {
+            k: v
+            for k, v in resumed_registry.snapshot().counters.items()
+            if k not in meta
+        }
+        assert reference_counters == resumed_counters
+
+    def test_resume_skips_nothing_for_different_silicon(self, pieces, tmp_path):
+        """A checkpoint written for one population must not poison a
+        campaign over different silicon: the digests differ, so every
+        job re-runs."""
+        cfg, population, table = pieces
+        path = str(tmp_path / "campaign.jsonl")
+        run_campaign(
+            [HayatManager()],
+            config=cfg, population=population, table=table, checkpoint=path,
+        )
+        other_population = generate_population(3, seed=31)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            run_campaign(
+                [HayatManager()],
+                config=cfg, population=other_population, table=table,
+                checkpoint=path,
+            )
+        assert registry.counter("campaign.resumed_jobs") == 0
+        assert registry.counter("campaign.jobs_executed") == 3
+
+    def test_completed_checkpoint_resumes_everything(self, pieces, tmp_path):
+        cfg, population, table = pieces
+        path = str(tmp_path / "campaign.jsonl")
+        first = run_campaign(
+            [HayatManager()],
+            config=cfg, population=population, table=table, checkpoint=path,
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            second = run_campaign(
+                [HayatManager()],
+                config=cfg, population=population, table=table,
+                checkpoint=path,
+            )
+        assert registry.counter("campaign.resumed_jobs") == 3
+        assert registry.counter("campaign.jobs_executed") == 0
+        for a, b in zip(first.results["hayat"], second.results["hayat"]):
+            np.testing.assert_array_equal(
+                a.health_trajectory(), b.health_trajectory()
+            )
+
+    def test_sweep_shares_one_checkpoint_across_floors(self, pieces, tmp_path):
+        from repro.sim import sweep_dark_fractions
+
+        cfg, population, table = pieces
+        path = str(tmp_path / "sweep.jsonl")
+        sweep_dark_fractions(
+            [HayatManager()], fractions=[0.25, 0.5],
+            config=cfg, population=population, table=table, checkpoint=path,
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            sweep_dark_fractions(
+                [HayatManager()], fractions=[0.25, 0.5],
+                config=cfg, population=population, table=table,
+                checkpoint=path,
+            )
+        assert registry.counter("campaign.resumed_jobs") == 6
+        assert registry.counter("campaign.jobs_executed") == 0

@@ -49,6 +49,12 @@ class TestParallelCampaign:
             )
 
     def test_progress_reported_from_pool(self, pieces):
+        """Every pooled job reports on completion.  Completions arrive
+        in completion order (concurrent jobs may finish either way
+        round), so the assertion is order-insensitive; the ordering
+        contract itself is pinned in
+        ``test_sim_supervisor.py::test_progress_reports_in_completion_order``.
+        """
         cfg, population, table = pieces
         calls = []
         run_campaign(
@@ -56,7 +62,7 @@ class TestParallelCampaign:
             config=cfg, population=population, table=table, workers=2,
             progress=lambda policy, chip: calls.append((policy, chip)),
         )
-        assert calls == [("hayat", "chip-00"), ("hayat", "chip-01")]
+        assert sorted(calls) == [("hayat", "chip-00"), ("hayat", "chip-01")]
 
     def test_unpicklable_knob_raises_clear_error(self, pieces):
         cfg, population, table = pieces

@@ -1,0 +1,49 @@
+"""Result-record edge cases, in particular the empty (zero-epoch)
+lifetime a degraded campaign job produces."""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.sim import LifetimeResult
+
+
+@pytest.fixture()
+def empty():
+    return LifetimeResult(
+        chip_id="chip-00",
+        policy_name="hayat",
+        dark_fraction_min=0.5,
+        fmax_init_ghz=np.array([2.0, 3.0, 2.5]),
+    )
+
+
+class TestEmptyLifetime:
+    def test_trajectories_have_zero_length_leading_axis(self, empty):
+        assert empty.years().shape == (0,)
+        assert empty.health_trajectory().shape == (0, 3)
+        assert empty.fmax_trajectory_ghz().shape == (0, 3)
+        assert empty.chip_fmax_trajectory_ghz().shape == (0,)
+        assert empty.avg_fmax_trajectory_ghz().shape == (0,)
+
+    def test_totals_are_zero(self, empty):
+        assert empty.total_dtm_events() == 0
+        assert empty.total_dtm_migrations() == 0
+        assert empty.total_qos_violations() == 0
+
+    def test_aging_rates_are_zero(self, empty):
+        """Regression: these raised IndexError on ``[-1]``."""
+        assert empty.chip_fmax_aging_rate() == 0.0
+        assert empty.avg_fmax_aging_rate() == 0.0
+
+    def test_averages_are_nan_without_warning(self, empty):
+        """Regression: np.mean([]) emitted a RuntimeWarning."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert math.isnan(empty.mean_temp_rise_k(318.0))
+            assert math.isnan(empty.mean_comm_cost())
+
+    def test_lifetime_at_requirement_is_zero(self, empty):
+        assert empty.lifetime_at_requirement_years(1.0) == 0.0

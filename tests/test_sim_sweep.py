@@ -5,7 +5,8 @@ import pytest
 
 from repro.baselines import VAAManager
 from repro.core import HayatManager
-from repro.sim import SimulationConfig, sweep_dark_fractions
+from repro.dtm import DTMPolicy
+from repro.sim import SimulationConfig, run_campaign, sweep_dark_fractions
 from repro.variation import generate_population
 
 
@@ -49,6 +50,47 @@ class TestSweep:
     def test_empty_fractions_rejected(self, aging_table):
         with pytest.raises(ValueError):
             sweep_dark_fractions([HayatManager()], fractions=[])
+
+    def test_dtm_forwarded_to_campaigns(self, sweep, aging_table):
+        """Regression: a custom ``dtm`` (and ``mix_factory``) used to be
+        silently dropped and replaced by the default policy.  A sentinel
+        much-stricter DTM must reach the simulator: the swept campaign
+        matches a direct ``run_campaign`` with the same knob and differs
+        from the default-DTM sweep."""
+        cfg = SimulationConfig(
+            lifetime_years=1.0, epoch_years=0.5, window_s=5.0, seed=17
+        )
+        strict = DTMPolicy(tsafe_k=cfg.tsafe_k - 15.0)
+        population = generate_population(2, seed=9)
+        swept = sweep_dark_fractions(
+            [VAAManager()],
+            fractions=[0.5],
+            config=cfg,
+            population=population,
+            table=aging_table,
+            dtm=strict,
+        )
+        direct = run_campaign(
+            [VAAManager()],
+            config=SimulationConfig(
+                lifetime_years=1.0, epoch_years=0.5, dark_fraction_min=0.5,
+                window_s=5.0, seed=17,
+            ),
+            population=population,
+            table=aging_table,
+            dtm=strict,
+        )
+        swept_runs = swept.campaigns[0.5].results["vaa"]
+        for a, b in zip(swept_runs, direct.results["vaa"]):
+            assert a.total_dtm_events() == b.total_dtm_events()
+            np.testing.assert_array_equal(
+                a.health_trajectory(), b.health_trajectory()
+            )
+        default_runs = sweep.campaigns[0.5].results["vaa"]
+        assert any(
+            a.total_dtm_events() != b.total_dtm_events()
+            for a, b in zip(swept_runs, default_runs)
+        )
 
     def test_workers_forwarded_to_campaigns(self, sweep, aging_table):
         """Regression: ``workers`` used to be dropped on the floor; a
