@@ -20,6 +20,7 @@ from repro import (
     generate_population,
 )
 from repro.aging.tables import default_aging_table
+from benchmarks.conftest import multicore_perf
 
 
 @pytest.fixture(scope="module")
@@ -28,6 +29,7 @@ def chip_and_table():
     return population[0], default_aging_table()
 
 
+@multicore_perf
 def test_perf_one_epoch(chip_and_table, benchmark):
     """One full aging epoch (decision + settle + window + upscale)."""
     chip, table = chip_and_table
@@ -59,6 +61,7 @@ def _bench_arrivals(epoch, window_s, rng):
     )
 
 
+@multicore_perf
 def test_perf_window_dominated(chip_and_table, benchmark):
     """A long transient window with mid-epoch arrivals.
 
@@ -85,6 +88,7 @@ def test_perf_window_dominated(chip_and_table, benchmark):
     assert benchmark.stats["mean"] < 2.0
 
 
+@multicore_perf
 def test_perf_transient_step(chip_and_table, benchmark):
     """One backward-Euler step of the 129-node network."""
     chip, _ = chip_and_table
@@ -98,6 +102,7 @@ def test_perf_transient_step(chip_and_table, benchmark):
     assert benchmark.stats["mean"] < 1e-3
 
 
+@multicore_perf
 def test_perf_coupled_steady_state(chip_and_table, benchmark):
     """One leakage-coupled steady-state solve (the settle-phase unit)."""
     from repro import solve_coupled_steady_state

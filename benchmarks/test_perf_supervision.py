@@ -21,11 +21,13 @@ from repro import (
     run_campaign,
 )
 from repro.aging.tables import default_aging_table
+from benchmarks.conftest import multicore_perf
 
 ROUNDS = 3
 MAX_OVERHEAD = 0.02
 
 
+@multicore_perf
 def test_perf_supervised_campaign_overhead(benchmark, tmp_path):
     cfg = SimulationConfig(
         lifetime_years=1.0, epoch_years=0.5, dark_fraction_min=0.5,

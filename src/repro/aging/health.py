@@ -88,3 +88,47 @@ class HealthState:
                 f"{name} must have shape ({self.num_cores},), got {values.shape}"
             )
         return values
+
+
+def advance_batch(
+    states: list[HealthState],
+    temps_k: np.ndarray,
+    duties: np.ndarray,
+    epoch_years: float,
+) -> None:
+    """Commit one aging epoch to many chips with one table walk.
+
+    ``states`` must share one :class:`~repro.aging.tables.AgingTable`
+    object and one core count; ``temps_k``/``duties`` are
+    ``(len(states), num_cores)``, row ``b`` belonging to ``states[b]``.
+    The rows are flattened to one ``(chips * cores,)`` gather through
+    ``table.next_health`` — the table walk is elementwise (per-element
+    grid lookups plus an elementwise corner reduce), so each row's
+    result is bit-identical to that state's own :meth:`HealthState.advance`.
+    """
+    if not states:
+        return
+    if epoch_years < 0:
+        raise ValueError("epoch_years must be non-negative")
+    table = states[0].table
+    num_cores = states[0].num_cores
+    for state in states:
+        if state.table is not table:
+            raise ValueError("all states must share one aging table")
+        if state.num_cores != num_cores:
+            raise ValueError("all states must share one core count")
+    temps_k = np.asarray(temps_k, dtype=float)
+    duties = np.asarray(duties, dtype=float)
+    expected = (len(states), num_cores)
+    if temps_k.shape != expected or duties.shape != expected:
+        raise ValueError(
+            f"temps_k and duties must have shape {expected}, got "
+            f"{temps_k.shape} and {duties.shape}"
+        )
+    healths = np.concatenate([state._health for state in states])
+    out = table.next_health(
+        temps_k.reshape(-1), duties.reshape(-1), healths, epoch_years
+    ).reshape(expected)
+    for b, state in enumerate(states):
+        state._health = out[b].copy()
+        state._elapsed_years += epoch_years

@@ -107,6 +107,36 @@ def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "chips per batched simulation unit (default: auto-sized from "
+            "the population and worker count; results are bit-identical "
+            "to the per-chip path)"
+        ),
+    )
+    group.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="force the per-chip simulation path (disable batching)",
+    )
+
+
+def _batch_kwargs(args) -> dict:
+    if args.no_batch:
+        return {"batch_size": None}
+    if args.batch_size is not None:
+        if args.batch_size < 1:
+            raise SystemExit("--batch-size must be >= 1")
+        return {"batch_size": args.batch_size}
+    return {"batch_size": "auto"}
+
+
 def _supervision_kwargs(args) -> dict:
     return {
         "checkpoint": args.checkpoint,
@@ -180,6 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="parallel worker processes"
     )
     _add_supervision_flags(campaign)
+    _add_batch_flags(campaign)
     _add_observability_flags(campaign)
 
     scenario = sub.add_parser(
@@ -203,6 +234,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="parallel worker processes"
     )
     _add_supervision_flags(sweep)
+    _add_batch_flags(sweep)
     _add_observability_flags(sweep)
     return parser
 
@@ -293,6 +325,7 @@ def _cmd_campaign(args) -> int:
         progress=lambda policy, chip: print(f"  {policy} / {chip}"),
         workers=args.workers,
         **_supervision_kwargs(args),
+        **_batch_kwargs(args),
     )
     _report_failures(campaign.failures)
     dtm = campaign.normalized_dtm_events("vaa", "hayat")
@@ -376,6 +409,7 @@ def _cmd_sweep(args) -> int:
         population_seed=args.seed,
         workers=args.workers,
         **_supervision_kwargs(args),
+        **_batch_kwargs(args),
     )
     for campaign_result in sweep.campaigns.values():
         _report_failures(campaign_result.failures)
@@ -383,7 +417,10 @@ def _cmd_sweep(args) -> int:
     temp = sweep.metric("temp", "vaa", "hayat")
     aging = sweep.metric("avg_aging", "vaa", "hayat")
     rows = []
-    for i, fraction in enumerate(args.fractions):
+    # Iterate the sweep's own fractions: duplicates in --fractions are
+    # deduplicated (order preserved), so the metric rows align with
+    # sweep.fractions, not the raw argument list.
+    for i, fraction in enumerate(sweep.fractions):
         rows.append(
             [
                 f"{100 * fraction:.1f} %",

@@ -162,6 +162,32 @@ def _distinct_floorplans(population) -> list:
     return list(seen.values())
 
 
+def _resolve_batch_size(batch_size, population, workers: int) -> int | None:
+    """Normalize the ``batch_size`` knob to an int or ``None``.
+
+    ``"auto"`` sizes units from the largest same-floorplan group: big
+    enough to amortize the stacked solves, small enough that ``workers``
+    processes still all get units (``min(32, ceil(group / workers))``).
+    A resolved size below 2 means there is nothing worth stacking, so
+    auto falls back to the per-chip path.
+    """
+    if batch_size is None:
+        return None
+    if batch_size == "auto":
+        counts: dict = {}
+        for chip in population:
+            key = floorplan_signature(chip.floorplan)
+            counts[key] = counts.get(key, 0) + 1
+        largest = max(counts.values(), default=0)
+        size = min(32, -(-largest // workers)) if largest else 0
+        return size if size >= 2 else None
+    if isinstance(batch_size, bool) or not isinstance(batch_size, int):
+        raise ValueError("batch_size must be None, 'auto', or an int >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be None, 'auto', or an int >= 1")
+    return batch_size
+
+
 def run_campaign(
     policies,
     num_chips: int = 25,
@@ -177,6 +203,7 @@ def run_campaign(
     job_timeout_s: float | None = None,
     allow_partial: bool = False,
     checkpoint=None,
+    batch_size: int | str | None = None,
 ) -> CampaignResult:
     """Run every policy over the same chip population.
 
@@ -232,6 +259,17 @@ def run_campaign(
         replays their results and metric snapshots, making the final
         aggregates bit-identical to an uninterrupted run.  Failed jobs
         are never checkpointed, so a resume retries them.
+    batch_size:
+        Chips per dispatch unit for the batched population engine
+        (:class:`~repro.sim.batch.BatchLifetimeSimulator`).  ``None``
+        (the default) keeps the per-chip path; an ``int >= 1`` batches
+        that many same-policy, same-floorplan chips per unit;
+        ``"auto"`` picks ``min(32, ceil(largest_group / workers))`` and
+        falls back to per-chip when that leaves nothing to batch.
+        Results are bit-identical to the per-chip path either way, and
+        checkpoints stay per-chip (a resume may re-group survivors into
+        different batches without changing any result).  Batch sizing
+        is deliberately *not* part of the campaign digest.
 
     Metrics: when the global :mod:`repro.obs` registry is enabled, every
     run records a ``campaign.run`` span plus the simulator/thermal
@@ -247,6 +285,7 @@ def run_campaign(
         table = default_aging_table()
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    batch_size = _resolve_batch_size(batch_size, population, workers)
 
     policies = list(policies)
     registry = get_registry()
@@ -298,6 +337,7 @@ def run_campaign(
         checkpoint=store,
         digest=digest,
         progress=progress,
+        batch_size=batch_size,
     )
     campaign = CampaignResult(config=config, failures=failures)
     per_policy = len(population.chips)

@@ -20,6 +20,14 @@ dark-fraction sweep: each floor's jobs carry a distinct digest.
 
 The format tolerates dirty shutdowns: a process killed mid-append
 leaves at most one truncated final line, which the loader skips.
+
+Batched campaigns (``batch_size``) checkpoint at the same per-chip
+grain: a batch unit appends one record per chip under that chip's own
+job key, with the unit's metrics snapshot attached to the *last* record
+of the unit and ``None`` on the others (merging the one snapshot
+reconstructs the unit's whole contribution).  Because keys never encode
+the batching, a resume may re-group the surviving jobs into different
+batches — or none — without changing any replayed result.
 """
 
 from __future__ import annotations

@@ -130,17 +130,23 @@ class LifetimeResult:
         if not self.epochs:
             return 0.0
         start = float(self.fmax_init_ghz.max())
+        if start == 0.0:
+            # Degenerate all-dead silicon: no frequency to lose.
+            return float("nan")
         end = float(self.chip_fmax_trajectory_ghz()[-1])
         return (start - end) / start
 
     def avg_fmax_aging_rate(self) -> float:
         """Relative loss of the core-average frequency (Fig. 10).
 
-        0.0 for an empty lifetime, like :meth:`chip_fmax_aging_rate`.
+        0.0 for an empty lifetime, like :meth:`chip_fmax_aging_rate`;
+        ``nan`` when the chip starts at 0 GHz (nothing to lose).
         """
         if not self.epochs:
             return 0.0
         start = float(self.fmax_init_ghz.mean())
+        if start == 0.0:
+            return float("nan")
         end = float(self.avg_fmax_trajectory_ghz()[-1])
         return (start - end) / start
 
@@ -164,7 +170,13 @@ class LifetimeResult:
         # Interpolate the crossing inside [k-1, k].
         f0, f1 = freqs[k - 1], freqs[k]
         y0, y1 = years[k - 1], years[k]
-        frac = (f0 - required_avg_ghz) / (f0 - f1)
+        span = f0 - f1
+        if not span > 0.0:
+            # Flat (or NaN-poisoned) bracket: no slope to interpolate
+            # along, so report the bracket's left edge — the last
+            # instant the chip is known to still meet the requirement.
+            return float(y0)
+        frac = (f0 - required_avg_ghz) / span
         return float(y0 + frac * (y1 - y0))
 
     def total_qos_violations(self) -> int:

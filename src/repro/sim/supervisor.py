@@ -26,6 +26,20 @@ serial backend runs jobs in-process (and therefore cannot preempt a
 hung job: requesting ``job_timeout_s`` routes even ``workers=1``
 campaigns through a one-process pool so the timeout is enforceable).
 
+With ``batch_size`` set, jobs sharing one (policy, floorplan) are
+grouped into *units* that run through the batched population engine
+(:class:`~repro.sim.batch.BatchLifetimeSimulator`).  A unit is the
+retry/deadline/checkpoint dispatch grain: one attempt simulates the
+whole batch, one deadline covers it, and its per-chip results are still
+checkpointed under their individual job keys (the unit's metrics
+snapshot rides on its last record) so a resume replays chips, not
+batches, and stays bit-identical whatever the batch size.  A unit that
+exhausts its retries is *demoted* to singleton units — each granted one
+final attempt — so one poisoned chip cannot sink its batchmates: the
+innocents complete (and checkpoint) individually and only the true
+culprit becomes a :class:`JobFailure`, with the same ``attempts``
+accounting a never-batched run would report.
+
 Failure telemetry flows through :mod:`repro.obs`:
 ``campaign.retries`` (re-attempts dispatched), ``campaign.job_failures``
 (jobs exhausted), ``campaign.resumed_jobs`` (jobs skipped thanks to a
@@ -42,11 +56,16 @@ import time
 from dataclasses import dataclass
 
 from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.sim.batch import BatchLifetimeSimulator
 from repro.sim.checkpoint import CampaignCheckpoint, job_key
 from repro.sim.context import ChipContext
 from repro.sim.results import LifetimeResult
 from repro.sim.simulator import LifetimeSimulator
-from repro.thermal.cache import configure_thermal_cache, warm_thermal_cache
+from repro.thermal.cache import (
+    configure_thermal_cache,
+    floorplan_signature,
+    warm_thermal_cache,
+)
 
 #: How long the pooled supervisor sleeps between completion scans.  Low
 #: enough that dispatch latency is invisible next to a lifetime job
@@ -124,19 +143,63 @@ def _run_one(job):
     return result, (registry.snapshot() if fresh else None)
 
 
-def _pool_entry(indexed_job):
-    """Pool wrapper around :func:`_run_one` that never raises.
+def _run_unit(jobs):
+    """Worker entry: one dispatch unit (one or many same-policy jobs).
 
-    Exceptions are flattened into a tagged tuple so one bad job cannot
-    poison the result stream; the supervisor turns the tag back into a
-    retry or a :class:`JobFailure`.
+    A singleton unit runs through :func:`_run_one` unchanged — same
+    ``campaign.run`` timer, same counters — so unbatched campaigns are
+    byte-for-byte the pre-batching code path.  A multi-chip unit builds
+    one context per chip and hands them to
+    :class:`~repro.sim.batch.BatchLifetimeSimulator` under a single
+    ``campaign.batch`` timer; ``campaign.runs`` still counts chips, not
+    dispatches.
+
+    Returns ``(list[LifetimeResult], MetricsSnapshot | None)`` with
+    results aligned to ``jobs``.
     """
-    index, job = indexed_job
+    if len(jobs) == 1:
+        result, snapshot = _run_one(jobs[0])
+        return [result], snapshot
+    policy = jobs[0][0]
+    table = _SHARED["table"]
+    config = _SHARED["config"]
+    registry = get_registry()
+    fresh = _SHARED["collect"] and (
+        not registry.enabled or _SHARED.get("isolate_metrics", False)
+    )
+    if fresh:
+        registry = MetricsRegistry(trace=_SHARED["tracing"])
+    with use_registry(registry):
+        with registry.timer(
+            "campaign.batch", policy=policy.name, chips=len(jobs)
+        ):
+            ctxs = [
+                ChipContext(
+                    chip, table, dark_fraction_min=config.dark_fraction_min
+                )
+                for _, chip in jobs
+            ]
+            simulator = BatchLifetimeSimulator(
+                config, dtm=_SHARED["dtm"], mix_factory=_SHARED["mix_factory"]
+            )
+            results = simulator.run(ctxs, policy)
+    registry.inc("campaign.runs", len(jobs))
+    return results, (registry.snapshot() if fresh else None)
+
+
+def _pool_entry(keyed_unit):
+    """Pool wrapper around :func:`_run_unit` that never raises.
+
+    Exceptions are flattened into a tagged tuple so one bad unit cannot
+    poison the result stream; the supervisor turns the tag back into a
+    retry, a demotion, or a :class:`JobFailure`.
+    """
+    key, jobs = keyed_unit
     try:
-        result, snapshot = _run_one(job)
+        results, snapshot = _run_unit(jobs)
     except Exception as error:  # noqa: BLE001 - the whole point
-        return index, False, f"{type(error).__name__}: {error}", None
-    return index, True, result, snapshot
+        return key, False, f"{type(error).__name__}: {error}", None
+    return key, True, results, snapshot
 
 
 @dataclass
@@ -186,15 +249,51 @@ def empty_lifetime(policy, chip, config) -> LifetimeResult:
     )
 
 
-class _JobState:
-    """Per-job supervision bookkeeping."""
+class _UnitState:
+    """Per-dispatch-unit supervision bookkeeping.
 
-    __slots__ = ("index", "job", "attempts")
+    A unit owns one or more jobs (chips) that run in a single attempt;
+    ``attempts`` counts dispatches of the whole unit.  Singleton units
+    demoted out of an exhausted batch start with ``attempts`` preset to
+    ``retries`` — one final attempt each, so their eventual
+    :class:`JobFailure.attempts` equals what a never-batched run of the
+    same chip would have reported, and no extra ``campaign.retries``
+    are charged for the re-dispatch.
+    """
 
-    def __init__(self, index: int, job):
-        self.index = index
-        self.job = job
-        self.attempts = 0
+    __slots__ = ("indices", "jobs", "attempts", "announced")
+
+    def __init__(self, indices, jobs, attempts: int = 0):
+        self.indices = list(indices)
+        self.jobs = list(jobs)
+        self.attempts = attempts
+        self.announced = False
+
+
+def _form_units(pairs, batch_size) -> list[_UnitState]:
+    """Chunk ``(index, (policy, chip))`` pairs into dispatch units.
+
+    Without batching every job is its own unit, in order.  With
+    ``batch_size`` set, jobs are grouped by (policy identity, floorplan
+    signature) — the axes the batched engine requires to agree — with
+    the original job order preserved inside each group, then chunked.
+    Units are dispatched in first-job order.
+    """
+    if batch_size is None or batch_size <= 1:
+        return [_UnitState([index], [job]) for index, job in pairs]
+    groups: dict = {}
+    for index, (policy, chip) in pairs:
+        key = (id(policy), floorplan_signature(chip.floorplan))
+        groups.setdefault(key, []).append((index, (policy, chip)))
+    units = []
+    for items in groups.values():
+        for start in range(0, len(items), batch_size):
+            chunk = items[start : start + batch_size]
+            units.append(
+                _UnitState([i for i, _ in chunk], [j for _, j in chunk])
+            )
+    units.sort(key=lambda unit: unit.indices[0])
+    return units
 
 
 def run_supervised_jobs(
@@ -209,12 +308,15 @@ def run_supervised_jobs(
     checkpoint: CampaignCheckpoint | None = None,
     digest: str | None = None,
     progress=None,
+    batch_size: int | None = None,
 ) -> tuple[list[LifetimeResult], list[JobFailure]]:
     """Run ``jobs`` (a list of ``(policy, chip)``) under supervision.
 
     Returns results aligned index-for-index with ``jobs`` plus the list
     of failures (empty unless ``allow_partial`` let some through).  See
-    the module docstring for the semantics of each knob.
+    the module docstring for the semantics of each knob;
+    ``batch_size=None`` (the default) dispatches per-chip singleton
+    units exactly as before batching existed.
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
@@ -222,14 +324,18 @@ def run_supervised_jobs(
         raise ValueError("job_timeout_s must be positive")
     if checkpoint is not None and digest is None:
         raise ValueError("checkpointing requires the campaign digest")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be None or >= 1")
 
     registry = get_registry()
     results: list = [None] * len(jobs)
     failures: list[JobFailure] = []
     keys: list[str | None] = [None] * len(jobs)
 
-    # Resume: replay recorded jobs before any dispatch.
-    remaining: list[_JobState] = []
+    # Resume: replay recorded jobs before any dispatch.  Units form
+    # *after* this filter, so a resumed campaign batches only the jobs
+    # that still need to run (partial batches are fine).
+    remaining: list = []
     for index, (policy, chip) in enumerate(jobs):
         if checkpoint is not None:
             keys[index] = job_key(
@@ -242,18 +348,25 @@ def run_supervised_jobs(
                     registry.merge_snapshot(record.snapshot)
                 registry.inc("campaign.resumed_jobs")
                 continue
-        remaining.append(_JobState(index, (policy, chip)))
+        remaining.append((index, (policy, chip)))
+    units = _form_units(remaining, batch_size)
 
-    def record_success(state: _JobState, result, snapshot) -> None:
+    def record_success(state: _UnitState, unit_results, snapshot) -> None:
         if snapshot is not None:
             registry.merge_snapshot(snapshot)
-        if checkpoint is not None:
-            checkpoint.append(keys[state.index], result, snapshot)
-        registry.inc("campaign.jobs_executed")
-        results[state.index] = result
+        last = len(state.indices) - 1
+        for offset, (index, result) in enumerate(
+            zip(state.indices, unit_results)
+        ):
+            if checkpoint is not None:
+                checkpoint.append(
+                    keys[index], result, snapshot if offset == last else None
+                )
+            registry.inc("campaign.jobs_executed")
+            results[index] = result
 
-    def record_exhaustion(state: _JobState, kind: str, message: str) -> None:
-        policy, chip = state.job
+    def record_exhaustion(state: _UnitState, kind: str, message: str) -> None:
+        policy, chip = state.jobs[0]
         failure = JobFailure(
             policy_name=policy.name,
             chip_id=chip.chip_id,
@@ -266,12 +379,22 @@ def run_supervised_jobs(
         if not allow_partial:
             raise CampaignJobError(failure)
         failures.append(failure)
-        results[state.index] = empty_lifetime(policy, chip, config)
+        results[state.indices[0]] = empty_lifetime(policy, chip, config)
+
+    def demote(state: _UnitState) -> list[_UnitState]:
+        """Split an exhausted batch into one-final-attempt singletons."""
+        registry.inc("campaign.batch_demotions")
+        singles = []
+        for index, job in zip(state.indices, state.jobs):
+            single = _UnitState([index], [job], attempts=retries)
+            single.announced = state.announced
+            singles.append(single)
+        return singles
 
     use_pool = workers > 1 or job_timeout_s is not None
     if use_pool:
         _run_pooled(
-            remaining,
+            units,
             shared,
             workers=workers,
             retries=retries,
@@ -280,40 +403,55 @@ def run_supervised_jobs(
             registry=registry,
             record_success=record_success,
             record_exhaustion=record_exhaustion,
+            demote=demote,
         )
     else:
         _run_serial(
-            remaining,
+            units,
             retries=retries,
             progress=progress,
             registry=registry,
             record_success=record_success,
             record_exhaustion=record_exhaustion,
+            demote=demote,
         )
     return results, failures
 
 
 def _run_serial(
-    states, *, retries, progress, registry, record_success, record_exhaustion
+    states,
+    *,
+    retries,
+    progress,
+    registry,
+    record_success,
+    record_exhaustion,
+    demote,
 ) -> None:
-    """In-process backend: jobs run one by one, attempts loop inline."""
-    for state in states:
-        policy, chip = state.job
-        if progress is not None:
-            progress(policy.name, chip.chip_id)
+    """In-process backend: units run one by one, attempts loop inline."""
+    pending = list(states)
+    while pending:
+        state = pending.pop(0)
+        if progress is not None and not state.announced:
+            for policy, chip in state.jobs:
+                progress(policy.name, chip.chip_id)
+        state.announced = True
         while True:
             state.attempts += 1
             try:
-                result, snapshot = _run_one(state.job)
+                unit_results, snapshot = _run_unit(state.jobs)
             except Exception as error:  # noqa: BLE001 - supervised
                 if state.attempts <= retries:
                     registry.inc("campaign.retries")
                     continue
+                if len(state.jobs) > 1:
+                    pending[0:0] = demote(state)
+                    break
                 record_exhaustion(
                     state, "error", f"{type(error).__name__}: {error}"
                 )
                 break
-            record_success(state, result, snapshot)
+            record_success(state, unit_results, snapshot)
             break
 
 
@@ -328,20 +466,23 @@ def _run_pooled(
     registry,
     record_success,
     record_exhaustion,
+    demote,
 ) -> None:
-    """Spawn-pool backend with per-job deadlines and pool resurrection.
+    """Spawn-pool backend with per-unit deadlines and pool resurrection.
 
-    At most one job per worker is in flight, so a job's deadline starts
+    At most one unit per worker is in flight, so a unit's deadline starts
     when it actually starts running, not when it was queued.  A hung or
     dead worker cannot be killed individually inside a
     :class:`multiprocessing.Pool`, so a timeout tears the whole pool
     down, rebuilds it through the same initializer (fresh workers, same
-    shared invariants), and re-queues the innocent in-flight jobs
-    without charging them an attempt.
+    shared invariants), and re-queues the innocent in-flight units
+    without charging them an attempt.  A multi-chip unit that exhausts
+    its retries (error or timeout) is demoted to singleton units at the
+    front of the queue rather than failed outright.
     """
     context = multiprocessing.get_context("spawn")
     pending = list(states)  # FIFO via pop(0); campaign scale is small
-    inflight: dict[int, tuple] = {}  # index -> (async_result, deadline, state)
+    inflight: dict[int, tuple] = {}  # key -> (async_result, deadline, state)
     pool = context.Pool(workers, initializer=_init_worker, initargs=(shared,))
     try:
         while pending or inflight:
@@ -349,36 +490,38 @@ def _run_pooled(
                 state = pending.pop(0)
                 state.attempts += 1
                 async_result = pool.apply_async(
-                    _pool_entry, ((state.index, state.job),)
+                    _pool_entry, ((state.indices[0], state.jobs),)
                 )
                 deadline = (
                     time.monotonic() + job_timeout_s
                     if job_timeout_s is not None
                     else None
                 )
-                inflight[state.index] = (async_result, deadline, state)
+                inflight[state.indices[0]] = (async_result, deadline, state)
 
             ready = [
-                index
-                for index, (res, _, _) in inflight.items()
+                key
+                for key, (res, _, _) in inflight.items()
                 if res.ready()
             ]
             if not ready:
                 now = time.monotonic()
                 expired = [
-                    index
-                    for index, (_, deadline, _) in inflight.items()
+                    key
+                    for key, (_, deadline, _) in inflight.items()
                     if deadline is not None and now > deadline
                 ]
                 if expired:
                     # The pool is compromised: replace it wholesale.
                     pool.terminate()
                     pool.join()
-                    for index, (_, _, state) in list(inflight.items()):
-                        if index in expired:
+                    for key, (_, _, state) in list(inflight.items()):
+                        if key in expired:
                             if state.attempts <= retries:
                                 registry.inc("campaign.retries")
                                 pending.insert(0, state)
+                            elif len(state.jobs) > 1:
+                                pending[0:0] = demote(state)
                             else:
                                 record_exhaustion(
                                     state,
@@ -401,17 +544,20 @@ def _run_pooled(
                     next(iter(inflight.values()))[0].wait(_POLL_INTERVAL_S)
                 continue
 
-            for index in ready:
-                async_result, _, state = inflight.pop(index)
+            for key in ready:
+                async_result, _, state = inflight.pop(key)
                 _, ok, payload, snapshot = async_result.get()
                 if ok:
-                    policy, chip = state.job
                     record_success(state, payload, snapshot)
-                    if progress is not None:
-                        progress(policy.name, chip.chip_id)
+                    if progress is not None and not state.announced:
+                        for policy, chip in state.jobs:
+                            progress(policy.name, chip.chip_id)
+                    state.announced = True
                 elif state.attempts <= retries:
                     registry.inc("campaign.retries")
                     pending.insert(0, state)
+                elif len(state.jobs) > 1:
+                    pending[0:0] = demote(state)
                 else:
                     record_exhaustion(state, "error", payload)
     finally:

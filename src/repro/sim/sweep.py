@@ -20,10 +20,24 @@ from repro.variation.population import ChipPopulation, generate_population
 
 @dataclass
 class SweepResult:
-    """Metrics per swept dark floor (rows align with ``fractions``)."""
+    """Metrics per swept dark floor (rows align with ``fractions``).
+
+    ``fractions`` must be unique: ``campaigns`` is keyed by float, so a
+    duplicate floor could only alias one campaign while ``metric``
+    emitted its row twice — silent double counting.  The constructor
+    rejects duplicates; :func:`sweep_dark_fractions` deduplicates its
+    input (order preserved) before building one.
+    """
 
     fractions: list[float]
     campaigns: dict[float, CampaignResult] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.fractions)) != len(self.fractions):
+            raise ValueError(
+                f"duplicate dark fractions in {self.fractions!r}; each "
+                "floor maps to exactly one campaign"
+            )
 
     def metric(self, name: str, baseline: str, policy: str) -> np.ndarray:
         """Mean normalized metric per floor.
@@ -69,20 +83,25 @@ def sweep_dark_fractions(
     job_timeout_s: float | None = None,
     allow_partial: bool = False,
     checkpoint=None,
+    batch_size=None,
 ) -> SweepResult:
     """Run one campaign per dark floor over shared silicon.
 
     ``policies`` is re-used across floors (policy objects must be
     stateless between runs, which all built-ins are).  The execution
-    knobs — ``workers``, ``dtm``, ``mix_factory``, and the supervision
-    set (``retries``, ``job_timeout_s``, ``allow_partial``,
-    ``checkpoint``) — are forwarded verbatim to every
-    :func:`run_campaign`, so a custom DTM policy or a checkpointed,
-    fault-tolerant run behaves identically per floor.  One checkpoint
-    file serves the whole sweep: each floor's jobs are keyed by their
-    own dark fraction and config digest.
+    knobs — ``workers``, ``dtm``, ``mix_factory``, ``batch_size``, and
+    the supervision set (``retries``, ``job_timeout_s``,
+    ``allow_partial``, ``checkpoint``) — are forwarded verbatim to
+    every :func:`run_campaign`, so a custom DTM policy or a
+    checkpointed, fault-tolerant run behaves identically per floor.
+    One checkpoint file serves the whole sweep: each floor's jobs are
+    keyed by their own dark fraction and config digest.
+
+    Repeated fractions are deduplicated with order preserved: each
+    distinct floor runs exactly one campaign and contributes exactly
+    one row to :meth:`SweepResult.metric`.
     """
-    fractions = [float(f) for f in fractions]
+    fractions = list(dict.fromkeys(float(f) for f in fractions))
     if not fractions:
         raise ValueError("need at least one dark fraction")
     if population is None:
@@ -107,5 +126,6 @@ def sweep_dark_fractions(
             job_timeout_s=job_timeout_s,
             allow_partial=allow_partial,
             checkpoint=checkpoint,
+            batch_size=batch_size,
         )
     return result

@@ -72,6 +72,7 @@ def solve_coupled_steady_state_batch(
     tol_k: float = 0.05,
     max_iter: int = 400,
     damping: float = 0.6,
+    leakage_scale: np.ndarray | None = None,
 ) -> tuple[np.ndarray, PowerBreakdown]:
     """Solve many leakage-temperature fixed points with stacked RHS.
 
@@ -83,6 +84,11 @@ def solve_coupled_steady_state_batch(
     (:meth:`~repro.thermal.rcnet.ThermalRCNetwork.steady_state_batch`).
     Rows freeze as they converge, so late stragglers don't re-solve the
     finished ones.
+
+    ``leakage_scale`` optionally carries per-row leakage multipliers
+    (``(batch, num_cores)``) for batches whose rows are different chips;
+    it is forwarded to :meth:`~repro.power.model.PowerModel.evaluate_batch`
+    row-aligned with the other inputs.
 
     Returns ``(core_temps_k, power_breakdown)`` with ``(batch,
     num_cores)`` arrays.  Raises :class:`ThermalRunawayError` if any row
@@ -99,6 +105,10 @@ def solve_coupled_steady_state_batch(
         and freq_ghz.shape[1] == network.num_cores
     ):
         raise ValueError("batch inputs must share shape (batch, num_cores)")
+    if leakage_scale is not None:
+        leakage_scale = np.atleast_2d(np.asarray(leakage_scale, dtype=float))
+        if leakage_scale.shape != freq_ghz.shape:
+            raise ValueError("leakage_scale must share shape (batch, num_cores)")
     obs = get_registry()
     obs.inc("thermal.coupled_solves", batch)
     temps = np.full((batch, network.num_cores), network.config.ambient_k)
@@ -106,7 +116,13 @@ def solve_coupled_steady_state_batch(
     iterations = np.zeros(batch, dtype=int)
     for iteration in range(max_iter):
         breakdown = power_model.evaluate_batch(
-            freq_ghz[active], activity[active], temps[active], powered_on[active]
+            freq_ghz[active],
+            activity[active],
+            temps[active],
+            powered_on[active],
+            leakage_scale=(
+                None if leakage_scale is None else leakage_scale[active]
+            ),
         )
         target = network.steady_state_batch(breakdown.total_w)
         if not np.isfinite(target).all():
@@ -121,7 +137,8 @@ def solve_coupled_steady_state_batch(
         if active.size == 0:
             obs.inc("thermal.coupled_iterations", int(iterations.sum()))
             return temps, power_model.evaluate_batch(
-                freq_ghz, activity, temps, powered_on
+                freq_ghz, activity, temps, powered_on,
+                leakage_scale=leakage_scale,
             )
     raise ThermalRunawayError(
         f"no convergence within {max_iter} iterations "

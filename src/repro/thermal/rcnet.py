@@ -372,6 +372,30 @@ class TransientIntegrator:
         get_registry().inc("thermal.transient_steps", done)
         return temps, done
 
+    def step_batch(
+        self, temps_all_nodes: np.ndarray, node_power_w: np.ndarray
+    ) -> np.ndarray:
+        """Advance many chips one ``dt`` with a stacked-RHS solve.
+
+        ``temps_all_nodes`` and ``node_power_w`` are both
+        ``(num_nodes, batch)`` — one column per chip.  Each column goes
+        through exactly :meth:`_advance`'s arithmetic (subtract ambient,
+        scale by ``C/dt``, add power, one triangular solve, add ambient
+        back), so every column is bit-identical to stepping that chip
+        alone; the columns merely share the factorized solve.  The
+        power columns are full node-power vectors (base already folded
+        in) and are trusted, mirroring :meth:`run_segment`.
+
+        Returns the new ``(num_nodes, batch)`` temperatures.
+        """
+        rhs = temps_all_nodes - self._ambient
+        rhs *= self._c_over_dt[:, None]
+        rhs += node_power_w
+        new_rise = linalg.cho_solve(self._step_cho, rhs, check_finite=False)
+        new_rise += self._ambient
+        get_registry().inc("thermal.transient_steps", rhs.shape[1])
+        return new_rise
+
     def core_temperatures(self, temps_all_nodes: np.ndarray) -> np.ndarray:
         """Extract the junction temperatures from an all-nodes vector."""
         return np.asarray(temps_all_nodes)[: self.network.num_cores]

@@ -7,7 +7,7 @@ import warnings
 import numpy as np
 import pytest
 
-from repro.sim import LifetimeResult
+from repro.sim import EpochRecord, LifetimeResult
 
 
 @pytest.fixture()
@@ -17,6 +17,37 @@ def empty():
         policy_name="hayat",
         dark_fraction_min=0.5,
         fmax_init_ghz=np.array([2.0, 3.0, 2.5]),
+    )
+
+
+def _epoch(index: int, health: np.ndarray) -> EpochRecord:
+    """Minimal epoch record with a prescribed post-epoch health map."""
+    return EpochRecord(
+        epoch_index=index,
+        start_years=index * 0.5,
+        length_years=0.5,
+        mix_description="synthetic",
+        dcm_on=np.ones(health.size, dtype=bool),
+        worst_temps_k=np.full(health.size, 330.0),
+        avg_temp_k=325.0,
+        peak_temp_k=335.0,
+        dtm_migrations=0,
+        dtm_throttles=0,
+        duties=np.full(health.size, 0.5),
+        health_after=np.asarray(health, dtype=float),
+        qos_violations=0,
+        total_ips=1.0,
+    )
+
+
+def _result(healths, fmax=(2.0, 3.0, 2.5)) -> LifetimeResult:
+    fmax = np.array(fmax, dtype=float)
+    return LifetimeResult(
+        chip_id="chip-00",
+        policy_name="hayat",
+        dark_fraction_min=0.5,
+        fmax_init_ghz=fmax,
+        epochs=[_epoch(i, np.asarray(h)) for i, h in enumerate(healths)],
     )
 
 
@@ -47,3 +78,45 @@ class TestEmptyLifetime:
 
     def test_lifetime_at_requirement_is_zero(self, empty):
         assert empty.lifetime_at_requirement_years(1.0) == 0.0
+
+
+class TestLifetimeAtRequirement:
+    def test_interpolates_inside_bracket(self):
+        # avg fmax: 2.5 -> 2.0 -> 1.0; requirement 1.5 crosses in epoch 2.
+        result = _result([[0.8, 0.8, 0.8], [0.4, 0.4, 0.4]])
+        years = result.lifetime_at_requirement_years(1.5)
+        assert 0.5 < years < 1.0
+        np.testing.assert_allclose(years, 0.5 + 0.5 * (2.0 - 1.5) / (2.0 - 1.0))
+
+    def test_degenerate_bracket_returns_left_edge(self):
+        """Regression: a bracket without a usable downward slope
+        (``f0 - f1`` zero or NaN) divided by zero and returned
+        ``nan``/``inf``.  The chip is known to still meet the
+        requirement at the bracket's left edge, so that is the answer."""
+        nan = float("nan")
+        result = _result([[nan, nan, nan], [0.4, 0.4, 0.4]])
+        # freqs: [2.5, nan, 1.0]; the first strictly-below entry is
+        # epoch 2, and the bracket (nan, 1.0) has no usable slope.
+        years = result.lifetime_at_requirement_years(1.5)
+        assert math.isfinite(years)
+        assert years == 0.5  # left edge of the bracket
+
+    def test_plateau_never_below_keeps_full_horizon(self):
+        # freqs: [2.5, 1.0, 1.0]; a requirement at the plateau value is
+        # still met (strict comparison), so the full horizon is the
+        # lower-bound answer — no flat-bracket division on the way.
+        result = _result([[0.4, 0.4, 0.4], [0.4, 0.4, 0.4]])
+        assert result.lifetime_at_requirement_years(1.0) == 1.0
+
+
+class TestAgingRateGuards:
+    def test_zero_start_chip_fmax_rate_is_nan(self):
+        """Regression: an all-zero ``fmax_init_ghz`` divided by zero."""
+        result = _result([[0.5, 0.5, 0.5]], fmax=(0.0, 0.0, 0.0))
+        assert math.isnan(result.chip_fmax_aging_rate())
+        assert math.isnan(result.avg_fmax_aging_rate())
+
+    def test_positive_start_still_reports_rates(self):
+        result = _result([[0.5, 0.5, 0.5]])
+        assert result.chip_fmax_aging_rate() == pytest.approx(0.5)
+        assert result.avg_fmax_aging_rate() == pytest.approx(0.5)

@@ -51,6 +51,42 @@ class TestSweep:
         with pytest.raises(ValueError):
             sweep_dark_fractions([HayatManager()], fractions=[])
 
+    def test_duplicate_fractions_deduplicated(self, sweep, aging_table):
+        """Regression: duplicate fractions ran (and later double
+        counted) the same campaign once per occurrence; now they
+        collapse to one order-preserved occurrence each."""
+        cfg = SimulationConfig(
+            lifetime_years=1.0, epoch_years=0.5, window_s=5.0, seed=17
+        )
+        deduped = sweep_dark_fractions(
+            [VAAManager(), HayatManager()],
+            fractions=[0.5, 0.25, 0.5, 0.25],
+            config=cfg,
+            population=generate_population(2, seed=9),
+            table=aging_table,
+        )
+        assert deduped.fractions == [0.5, 0.25]
+        assert set(deduped.campaigns) == {0.25, 0.5}
+        assert deduped.metric("temp", "vaa", "hayat").shape == (2,)
+        # Same campaigns as the duplicate-free sweep, order aside.
+        for fraction in (0.25, 0.5):
+            a = sweep.campaigns[fraction].results["hayat"]
+            b = deduped.campaigns[fraction].results["hayat"]
+            for ra, rb in zip(a, b):
+                np.testing.assert_array_equal(
+                    ra.health_trajectory(), rb.health_trajectory()
+                )
+
+    def test_duplicate_fractions_rejected_at_result_level(self, sweep):
+        """SweepResult itself enforces the uniqueness contract."""
+        from repro.sim import SweepResult
+
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepResult(
+                fractions=[0.25, 0.25],
+                campaigns={0.25: sweep.campaigns[0.25]},
+            )
+
     def test_dtm_forwarded_to_campaigns(self, sweep, aging_table):
         """Regression: a custom ``dtm`` (and ``mix_factory``) used to be
         silently dropped and replaced by the default policy.  A sentinel
