@@ -36,7 +36,18 @@ from repro import (
     run_campaign,
 )
 from repro.aging.tables import default_aging_table
+from repro.obs import MetricsRegistry, use_registry
 from benchmarks.conftest import multicore_perf
+
+#: Per-phase engine timers recorded into the BENCH json so regressions
+#: can be localized (which share grew?) rather than just detected.
+PHASE_TIMERS = (
+    "sim.decision",
+    "sim.batch_decision",
+    "sim.settle",
+    "sim.window",
+    "sim.aging",
+)
 
 ROUNDS = 3
 BATCH_CHIPS = 64
@@ -80,6 +91,24 @@ def _bench_policy(policy, batch_pieces, benchmark):
     base_min = _min_of_rounds(per_chip)
     benchmark.pedantic(batched, rounds=ROUNDS, iterations=1, warmup_rounds=1)
     batched_min = benchmark.stats["min"]
+
+    # One unmeasured instrumented run: where does the batched campaign
+    # actually spend its time, and did the fast paths engage?
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        batched()
+    snapshot = registry.snapshot()
+    benchmark.extra_info["phases_ms"] = {
+        name: snapshot.timers[name].total_s * 1e3
+        for name in PHASE_TIMERS
+        if name in snapshot.timers
+    }
+    benchmark.extra_info["segment_cache_hits"] = snapshot.counters.get(
+        "sim.segment_cache_hits", 0
+    )
+    benchmark.extra_info["decision_batched_lanes"] = snapshot.counters.get(
+        "sim.decision_batched_lanes", 0
+    )
 
     benchmark.extra_info["chips"] = BATCH_CHIPS
     benchmark.extra_info["per_chip_min_ms"] = base_min * 1e3

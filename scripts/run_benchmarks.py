@@ -44,6 +44,23 @@ def _distill(raw: dict) -> dict:
         }
         if bench.get("extra_info"):
             entry["extra_info"] = bench["extra_info"]
+            phases = bench["extra_info"].get("phases_ms")
+            if phases:
+                total = sum(phases.values())
+                # "sim.batch_decision" nests inside "sim.decision";
+                # shares are of the top-level phase total.
+                top = {
+                    k: v for k, v in phases.items()
+                    if k != "sim.batch_decision"
+                }
+                top_total = sum(top.values())
+                entry["phase_breakdown"] = {
+                    name: {
+                        "total_ms": ms,
+                        "share": ms / top_total if top_total else 0.0,
+                    }
+                    for name, ms in phases.items()
+                } if total else {}
         out[bench["name"]] = entry
     return out
 

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.core.dcm import temperature_optimized_dcm
 from repro.mapping.state import ChipState
+from repro.obs import get_registry
 from repro.workload.mix import WorkloadMix
 
 
@@ -23,6 +24,40 @@ class CoolestFirstManager:
     def prepare_epoch(self, ctx, mix: WorkloadMix, epoch_years: float) -> ChipState:
         """Spread the DCM thermally, then assign each thread (stiffest
         first) to the coldest frequency-feasible idle core."""
+        return self._prepare_epoch_memo(ctx, mix, {})
+
+    def prepare_epoch_batch(
+        self, ctxs, mixes, epoch_years: float
+    ) -> list[ChipState]:
+        """Epoch decisions for a whole chip batch.
+
+        The coldest-first greedy itself is per chip (it reads each
+        chip's own temperatures and aged frequencies), but the
+        temperature-optimized DCM is a pure function of (floorplan,
+        thread count, influence kernel) — one build serves every lane
+        sharing those, which in a batch is all of them
+        (:class:`DarkCoreMap` is frozen and :class:`ChipState` copies
+        its power vector, so sharing is safe).  ``states[i]`` is
+        bit-identical to ``prepare_epoch(ctxs[i], mixes[i], ...)``.
+        """
+        if type(self).prepare_epoch is not CoolestFirstManager.prepare_epoch:
+            # A subclass customized the per-chip decision without
+            # providing a batched counterpart; honor its override.
+            return [
+                self.prepare_epoch(ctx, mix, epoch_years)
+                for ctx, mix in zip(ctxs, mixes)
+            ]
+        if len(ctxs) >= 2:
+            get_registry().inc("sim.decision_batched_lanes", len(ctxs))
+        dcm_memo: dict = {}
+        return [
+            self._prepare_epoch_memo(ctx, mix, dcm_memo)
+            for ctx, mix in zip(ctxs, mixes)
+        ]
+
+    def _prepare_epoch_memo(
+        self, ctx, mix: WorkloadMix, dcm_memo: dict
+    ) -> ChipState:
         health_now = ctx.measured_health()
         fmax_now = ctx.chip.fmax_init_ghz * health_now
         n = ctx.chip.num_cores
@@ -32,7 +67,14 @@ class CoolestFirstManager:
                 f"mix has {num_on} threads but the dark-silicon floor "
                 f"allows only {ctx.max_on_cores} powered-on cores"
             )
-        dcm = temperature_optimized_dcm(ctx.floorplan, num_on, ctx.predictor.influence)
+        from repro.thermal.cache import floorplan_signature
+
+        influence = ctx.predictor.influence
+        key = (floorplan_signature(ctx.floorplan), id(influence), num_on)
+        dcm = dcm_memo.get(key)
+        if dcm is None:
+            dcm = temperature_optimized_dcm(ctx.floorplan, num_on, influence)
+            dcm_memo[key] = dcm
         state = ChipState(n, mix.threads, dcm)
 
         temps = (

@@ -69,6 +69,24 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
             "fused segment engine (results are bit-identical either way)"
         ),
     )
+    parser.add_argument(
+        "--no-batch-decision",
+        action="store_true",
+        help=(
+            "run epoch decisions chip by chip instead of through the "
+            "cross-lane batched mapper (results are bit-identical either "
+            "way; only affects batched runs)"
+        ),
+    )
+    parser.add_argument(
+        "--no-segment-cache",
+        action="store_true",
+        help=(
+            "recompile every fused-window segment instead of reusing the "
+            "content-keyed compiled-segment cache (results are "
+            "bit-identical either way)"
+        ),
+    )
 
 
 def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
@@ -273,6 +291,8 @@ def _cmd_simulate(args) -> int:
     config = SimulationConfig(
         lifetime_years=args.years, dark_fraction_min=args.dark, window_s=10.0,
         seed=args.seed, fused_window=not args.no_fused_window,
+        batch_decision=not args.no_batch_decision,
+        segment_cache=not args.no_segment_cache,
     )
     policy = POLICIES[args.policy]()
     print(f"Simulating {chip.chip_id} under {policy.name} for {args.years} years...")
@@ -311,6 +331,8 @@ def _cmd_campaign(args) -> int:
     config = SimulationConfig(
         lifetime_years=args.years, dark_fraction_min=args.dark, window_s=10.0,
         seed=args.seed, fused_window=not args.no_fused_window,
+        batch_decision=not args.no_batch_decision,
+        segment_cache=not args.no_segment_cache,
     )
     print(
         f"Campaign: {args.chips} chips x {args.years} years x "
@@ -396,6 +418,8 @@ def _cmd_sweep(args) -> int:
     config = SimulationConfig(
         lifetime_years=args.years, window_s=10.0, seed=args.seed,
         fused_window=not args.no_fused_window,
+        batch_decision=not args.no_batch_decision,
+        segment_cache=not args.no_segment_cache,
     )
     print(
         f"Sweeping dark floors {args.fractions} over {args.chips} chips..."
@@ -446,6 +470,10 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if getattr(args, "no_thermal_cache", False):
         configure_thermal_cache(enabled=False)
+    if getattr(args, "no_segment_cache", False):
+        from repro.sim.window import configure_segment_cache
+
+        configure_segment_cache(enabled=False)
     handlers = {
         "chip": _cmd_chip,
         "simulate": _cmd_simulate,

@@ -132,3 +132,36 @@ class OnlineHealthEstimator:
             temps_k.reshape(-1), duties.reshape(-1), flat_health, epoch_years
         )
         return out.reshape(batch, n)
+
+    def estimate_next_health_rows(
+        self,
+        temps_k: np.ndarray,
+        duties: np.ndarray,
+        health_rows: np.ndarray,
+        epoch_years: float,
+    ) -> np.ndarray:
+        """Batched next-health where each row carries its *own* health.
+
+        The cross-lane batched mapper stacks candidate rows from several
+        chips into one matrix; unlike :meth:`estimate_next_health` the
+        rows no longer share a current-health vector, so the caller
+        passes a matching ``(batch, num_cores)`` ``health_rows`` matrix.
+        The table walk is per-element, so one flattened call returns the
+        exact values ``batch`` separate calls would.
+        """
+        temps_k = np.asarray(temps_k, dtype=float)
+        duties = self.resolve_duties(duties)
+        health_rows = np.asarray(health_rows, dtype=float)
+        if temps_k.ndim != 2 or temps_k.shape != health_rows.shape:
+            raise ValueError(
+                "temps_k and health_rows must be matching "
+                "(batch, num_cores) matrices"
+            )
+        batch, n = temps_k.shape
+        out = self.table.next_health(
+            temps_k.reshape(-1),
+            duties.reshape(-1),
+            health_rows.reshape(-1),
+            epoch_years,
+        )
+        return out.reshape(batch, n)

@@ -68,6 +68,62 @@ class HayatManager:
         exposing the chip, predictor, aging table, monitored health, and
         elapsed years.
         """
+        state, fmax_now, health_now, mapper = self._prepare_lane(ctx, mix)
+        unmapped = mapper.map_threads(
+            state,
+            fmax_now,
+            health_now,
+            epoch_years=epoch_years,
+            elapsed_years=ctx.elapsed_years,
+            initial_temps_k=ctx.last_temps_k,
+        )
+        self._finish_epoch(ctx, state, unmapped, fmax_now)
+        return state
+
+    def prepare_epoch_batch(
+        self, ctxs, mixes, epoch_years: float
+    ) -> list[ChipState]:
+        """Epoch decisions for a whole chip batch through the cross-lane
+        batched mapper (:mod:`repro.core.mapper_batch`).
+
+        ``states[i]`` is bit-identical to
+        ``self.prepare_epoch(ctxs[i], mixes[i], epoch_years)``: the DCM
+        build, fencing, and unmapped-thread absorption stay per chip,
+        and only the mapper's estimate calls are stacked (lanes the
+        stack cannot take are demoted to sequential mapping inside
+        :func:`repro.core.mapper_batch.map_threads_batch`).
+        """
+        from repro.core.mapper_batch import MapperLane, map_threads_batch
+
+        if type(self).prepare_epoch is not HayatManager.prepare_epoch:
+            # A subclass customized the per-chip decision without
+            # providing a batched counterpart; honor its override.
+            return [
+                self.prepare_epoch(ctx, mix, epoch_years)
+                for ctx, mix in zip(ctxs, mixes)
+            ]
+        lanes = []
+        for ctx, mix in zip(ctxs, mixes):
+            state, fmax_now, health_now, mapper = self._prepare_lane(ctx, mix)
+            lanes.append(
+                MapperLane(
+                    mapper=mapper,
+                    state=state,
+                    fmax_now_ghz=fmax_now,
+                    health_now=health_now,
+                    elapsed_years=ctx.elapsed_years,
+                    initial_temps_k=ctx.last_temps_k,
+                )
+            )
+        unmapped_lists = map_threads_batch(lanes, epoch_years)
+        for ctx, lane, unmapped in zip(ctxs, lanes, unmapped_lists):
+            self._finish_epoch(ctx, lane.state, unmapped, lane.fmax_now_ghz)
+        return [lane.state for lane in lanes]
+
+    def _prepare_lane(self, ctx, mix: WorkloadMix):
+        """Everything ``prepare_epoch`` does before the mapping loop:
+        DCM selection, reserved-core fencing, and the mapper build.
+        Returns ``(state, fmax_now, health_now, mapper)``."""
         health_now = ctx.measured_health()
         fmax_now = ctx.chip.fmax_init_ghz * health_now
         num_on = len(mix.threads)
@@ -109,20 +165,15 @@ class HayatManager:
             comm_weight=self.comm_weight,
             hop_matrix=ctx.noc.hop_matrix if self.comm_weight > 0 else None,
         )
-        unmapped = mapper.map_threads(
-            state,
-            fmax_now,
-            health_now,
-            epoch_years=epoch_years,
-            elapsed_years=ctx.elapsed_years,
-            initial_temps_k=ctx.last_temps_k,
-        )
+        return state, fmax_now, health_now, mapper
+
+    def _finish_epoch(self, ctx, state, unmapped, fmax_now) -> None:
+        """Everything ``prepare_epoch`` does after the mapping loop."""
         self._absorb_unmapped(state, unmapped, fmax_now)
         if self.boost:
             governed_boost(
                 state, fmax_now, ctx.predictor, tsafe_k=self.tsafe_k
             )
-        return state
 
     def place_arrival(
         self,

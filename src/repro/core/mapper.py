@@ -19,6 +19,8 @@ later placements see the heat of earlier ones.
 
 from __future__ import annotations
 
+from bisect import insort
+
 import numpy as np
 
 from repro.core.estimation import OnlineHealthEstimator
@@ -130,6 +132,7 @@ class HayatMapper:
             reverse=True,
         )
         unmapped: list[int] = []
+        comm = self._comm_state(state) if self.comm_weight > 0 else None
 
         # Candidate matrices are built in preallocated (n, n) buffers —
         # each thread's batch fills the leading rows instead of cutting
@@ -204,7 +207,7 @@ class HayatMapper:
             weights = weights + self.chip_health_coeff * n * health_b.mean(axis=1)
             if self.comm_weight > 0:
                 weights = weights - self.comm_weight * self._comm_penalty(
-                    state, thread, kept_cores
+                    state, thread, kept_cores, comm=comm
                 )
 
             winner = int(np.argmax(weights))
@@ -215,23 +218,59 @@ class HayatMapper:
             activity[core] = thread.mean_activity
             duties[core] = thread.duty_cycle
             temps = temps_b[keep[winner]]
+            if comm is not None:
+                insort(comm.setdefault(thread.app_name, []), core)
 
         return unmapped
 
+    @staticmethod
+    def _comm_state(state: ChipState) -> dict[str, list[int]]:
+        """Per-app placed-sibling map, built once per mapping pass.
+
+        Maps ``app_name`` to the ascending list of cores already hosting
+        one of its threads.  Keeping the lists sorted matters: the hop
+        sum below runs left-to-right over siblings, and an ascending
+        order reproduces the float sum of the old full-assignment scan.
+        """
+        assignment = state.assignment_view
+        comm: dict[str, list[int]] = {}
+        for core in np.flatnonzero(assignment >= 0):
+            app = state.threads[assignment[core]].app_name
+            comm.setdefault(app, []).append(int(core))
+        return comm
+
     def _comm_penalty(
-        self, state: ChipState, thread, candidate_cores: np.ndarray
+        self,
+        state: ChipState,
+        thread,
+        candidate_cores: np.ndarray,
+        comm: dict[str, list[int]] | None = None,
     ) -> np.ndarray:
-        """Per-candidate hop cost to the thread's already-placed siblings."""
+        """Per-candidate hop cost to the thread's already-placed siblings.
+
+        ``comm`` is the incrementally-maintained sibling map of
+        :meth:`_comm_state`; without one (standalone use) the map is
+        rebuilt from the assignment.
+        """
         from repro.noc.traffic import _intensity_of
 
-        assignment = state.assignment
-        siblings = [
-            int(core)
-            for core in np.flatnonzero(assignment >= 0)
-            if state.threads[assignment[core]].app_name == thread.app_name
-        ]
+        if comm is None:
+            comm = self._comm_state(state)
+        siblings = comm.get(thread.app_name)
         if not siblings:
             return np.zeros(candidate_cores.shape[0])
         intensity = _intensity_of(state, thread.app_name)
         hops = self.hop_matrix[np.ix_(candidate_cores, siblings)].sum(axis=1)
         return intensity * hops
+
+    @staticmethod
+    def map_threads_batch(lanes, epoch_years: float):
+        """Cross-lane lockstep mapping; see :mod:`repro.core.mapper_batch`.
+
+        Convenience alias so callers holding a mapper don't need the
+        extra import; ``lanes`` is a sequence of
+        :class:`repro.core.mapper_batch.MapperLane`.
+        """
+        from repro.core.mapper_batch import map_threads_batch
+
+        return map_threads_batch(lanes, epoch_years)

@@ -1,0 +1,376 @@
+"""Cross-lane batched Algorithm 1: lockstep mapping over a chip batch.
+
+The batched population engine (:mod:`repro.sim.batch`) stacks the
+thermal and aging kernels but, through PR 6, still ran the Hayat
+decision phase chip by chip — and inside each chip, Algorithm 1 already
+batches only *within* a thread's candidate set.  For a 64-chip batch
+that is ~2k small ``predict_temperature_batch`` + ``estimate_next_health``
+calls per epoch, and profiling puts >80 % of campaign wall-clock there.
+
+This module advances the thread-placement loop of
+:meth:`repro.core.mapper.HayatMapper.map_threads` in lockstep across
+all lanes of a batch: each *round* takes every lane's next placeable
+thread, stacks the per-candidate matrices of all lanes into one
+``(sum_lane_candidates, num_cores)`` block, and runs a single stacked
+temperature prediction and a single flattened aging-table walk where
+the sequential path ran one pair of calls per lane.
+
+Bit identity with the sequential mapper is the design constraint:
+
+* Every stacked kernel is row-independent — elementwise power and
+  leakage math, a BLAS matmul partitioned over rows (never the shared
+  reduction axis), and a per-element table walk — so lane ``b``'s rows
+  match its solo call bit for bit.  Per-lane divergence (warm-start
+  temperatures, process-variation leakage scale, current health) rides
+  in as extra per-row inputs (``initial_temps_k``/``leakage_scale``
+  matrices, :meth:`~repro.core.estimation.OnlineHealthEstimator.
+  estimate_next_health_rows`).
+* All control flow stays per lane and textually mirrors
+  ``map_threads``: feasibility filtering, the all-overshoot least-bad
+  fallback, Eq. 9 + Eq. 6 scoring, the communication penalty, and the
+  carried-forward temperature estimate.
+* Lanes diverge freely: different thread counts just finish in
+  different rounds, threads with no feasible core are recorded unmapped
+  exactly as the sequential path records them, and a lane that cannot
+  join the stack at all — mismatched table/predictor parameters, or a
+  ``strict`` mapper whose mid-batch :class:`~repro.core.mapper.
+  MappingError` must not leave sibling lanes half-mapped — is demoted
+  to its own sequential ``map_threads`` call without breaking the
+  group (see :func:`unstackable_reason`).
+
+Observability: ``sim.decision_batched_lanes`` counts lanes that mapped
+through a stacked group (the escape hatch ``--no-batch-decision``
+zeroes it).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mapper import HayatMapper
+from repro.mapping.state import ChipState
+from repro.obs import get_registry
+
+__all__ = ["MapperLane", "map_threads_batch", "unstackable_reason"]
+
+
+@dataclass
+class MapperLane:
+    """One chip's inputs to a lockstep mapping pass.
+
+    Mirrors the argument list of :meth:`HayatMapper.map_threads`
+    (``epoch_years`` is shared by the whole batch and passed to
+    :func:`map_threads_batch` instead).
+    """
+
+    mapper: HayatMapper
+    state: ChipState
+    fmax_now_ghz: np.ndarray
+    health_now: np.ndarray
+    elapsed_years: float
+    initial_temps_k: np.ndarray | None = None
+
+
+def unstackable_reason(lane: MapperLane, ref: MapperLane) -> str | None:
+    """Why ``lane`` cannot share ``ref``'s stacked kernels (or None).
+
+    The stacked calls run through the *reference* lane's estimator, so
+    everything that estimator bakes in — aging table, duty assumption,
+    influence kernel, baseline, leakage-correction depth, power-model
+    parameters — must match.  Per-chip leakage scale, warm-start
+    temperatures and health explicitly do *not* need to match: they are
+    threaded through as per-row inputs.
+    """
+    m, m0 = lane.mapper, ref.mapper
+    if m.strict:
+        # A strict lane may raise MappingError mid-round; sequential
+        # demotion keeps a raise from leaving sibling lanes half-mapped.
+        return "strict mapper"
+    if lane.state.num_cores != ref.state.num_cores:
+        return "mixed core counts"
+    e, e0 = m.estimator, m0.estimator
+    if e.table is not e0.table:
+        return "distinct aging tables"
+    if e.duty_assumption is not e0.duty_assumption:
+        return "mixed duty assumptions"
+    p, p0 = e.predictor, e0.predictor
+    if p.leakage_iterations != p0.leakage_iterations:
+        return "mixed leakage-correction depths"
+    if p.influence is not p0.influence and not np.array_equal(
+        p.influence, p0.influence
+    ):
+        return "mixed influence kernels"
+    if not np.array_equal(p.baseline_k, p0.baseline_k):
+        return "mixed thermal baselines"
+    d, d0 = p.power_model.dynamic, p0.power_model.dynamic
+    if (d.ceff_nf, d.vdd) != (d0.ceff_nf, d0.vdd):
+        return "mixed dynamic-power parameters"
+    a, b = p.power_model.leakage, p0.power_model.leakage
+    if (a.nominal_w, a.gated_w, a.beta_per_k, a.fit_limit_k) != (
+        b.nominal_w, b.gated_w, b.beta_per_k, b.fit_limit_k
+    ):
+        return "mixed leakage parameters"
+    return None
+
+
+class _LaneRun:
+    """Mutable per-lane mapping state threaded through the rounds.
+
+    The constructor replicates ``map_threads``'s preamble — argument
+    validation, warm-start temperatures, the running frequency/activity/
+    duty vectors seeded from already-placed threads, the stiffest-first
+    order, the incremental sibling map — op for op.
+    """
+
+    __slots__ = (
+        "mapper", "state", "n", "fmax", "health_now", "elapsed",
+        "temps", "freq", "activity", "duties", "powered", "assignment",
+        "order", "pos", "comm", "unmapped", "leak_scale",
+        "thread_index", "thread", "candidates", "keep", "temps_b",
+    )
+
+    def __init__(self, lane: MapperLane):
+        mapper = lane.mapper
+        state = lane.state
+        n = state.num_cores
+        fmax = np.asarray(lane.fmax_now_ghz, dtype=float)
+        health_now = np.asarray(lane.health_now, dtype=float)
+        if fmax.shape != (n,) or health_now.shape != (n,):
+            raise ValueError(
+                "fmax_now_ghz and health_now must be per-core vectors"
+            )
+        if lane.initial_temps_k is None:
+            temps = np.full(n, mapper.estimator.predictor.ambient_k)
+        else:
+            temps = np.asarray(lane.initial_temps_k, dtype=float).copy()
+
+        self.mapper = mapper
+        self.state = state
+        self.n = n
+        self.fmax = fmax
+        self.health_now = health_now
+        self.elapsed = lane.elapsed_years
+        self.temps = temps
+        self.freq = state.freq_ghz
+        self.activity = np.zeros(n)
+        self.assignment = state.assignment_view
+        for core in np.flatnonzero(self.assignment >= 0):
+            self.activity[core] = state.threads[
+                self.assignment[core]
+            ].mean_activity
+        self.duties = state.duty_vector()
+        self.powered = state.powered_view
+        self.order = sorted(
+            range(len(state.threads)),
+            key=lambda i: state.threads[i].fmin_ghz,
+            reverse=True,
+        )
+        self.pos = 0
+        self.comm = (
+            mapper._comm_state(state) if mapper.comm_weight > 0 else None
+        )
+        self.unmapped: list[int] = []
+        self.leak_scale = mapper.estimator.predictor.power_model.leakage_scale
+
+    def next_request(self) -> bool:
+        """Advance to this lane's next placeable thread.
+
+        Skips already-placed threads and records infeasible ones as
+        unmapped (strict lanes never reach a group, so the sequential
+        path's ``MappingError`` cannot arise here).  Returns False once
+        the lane's order is exhausted.
+        """
+        state = self.state
+        while self.pos < len(self.order):
+            thread_index = self.order[self.pos]
+            self.pos += 1
+            if state.core_of_thread(thread_index) >= 0:
+                continue  # already placed (incremental/mid-epoch use)
+            thread = state.threads[thread_index]
+            idle = self.powered & (self.assignment < 0)
+            feasible = idle & (self.fmax >= thread.fmin_ghz)
+            candidates = np.flatnonzero(feasible)
+            if candidates.size == 0:
+                self.unmapped.append(thread_index)
+                continue
+            self.thread_index = thread_index
+            self.thread = thread
+            self.candidates = candidates
+            return True
+        return False
+
+
+def map_threads_batch(
+    lanes: list[MapperLane], epoch_years: float
+) -> list[list[int]]:
+    """Map every lane's threads; returns each lane's unmapped indices.
+
+    ``results[i]`` is bit-identical to what
+    ``lanes[i].mapper.map_threads(...)`` returns — including every
+    placement and frequency written into ``lanes[i].state`` — whether
+    the lane rode the stacked group or was demoted to the sequential
+    path.
+    """
+    lanes = list(lanes)
+    results: list[list[int] | None] = [None] * len(lanes)
+
+    # Group every lane that can share the first groupable lane's
+    # stacked kernels; the rest run sequentially below.
+    group: list[int] = []
+    ref: MapperLane | None = None
+    for i, lane in enumerate(lanes):
+        if ref is None:
+            if lane.mapper.strict:
+                continue
+            ref = lane
+            group.append(i)
+        elif unstackable_reason(lane, ref) is None:
+            group.append(i)
+
+    if len(group) >= 2:
+        get_registry().inc("sim.decision_batched_lanes", len(group))
+        runs = [_LaneRun(lanes[i]) for i in group]
+        _map_group(runs, epoch_years)
+        for i, run in zip(group, runs):
+            results[i] = run.unmapped
+
+    for i, lane in enumerate(lanes):
+        if results[i] is None:
+            results[i] = lane.mapper.map_threads(
+                lane.state,
+                lane.fmax_now_ghz,
+                lane.health_now,
+                epoch_years,
+                lane.elapsed_years,
+                initial_temps_k=lane.initial_temps_k,
+            )
+    return results  # type: ignore[return-value]
+
+
+def _map_group(runs: list[_LaneRun], epoch_years: float) -> None:
+    """One lockstep pass over a compatible group of lane runs."""
+    n = runs[0].n
+    est0 = runs[0].mapper.estimator
+    predictor0 = est0.predictor
+
+    active = runs
+    while True:
+        active = [run for run in active if run.next_request()]
+        if not active:
+            return
+
+        # Stack every lane's candidate rows into one block.  Each
+        # lane's rows carry its own running vectors plus the one-thread
+        # delta — exactly the matrices its solo call would build.
+        total = sum(run.candidates.size for run in active)
+        freq_all = np.empty((total, n))
+        act_all = np.empty((total, n))
+        duty_all = np.empty((total, n))
+        on_all = np.empty((total, n), dtype=bool)
+        temps0_all = np.empty((total, n))
+        scale_all = np.empty((total, n))
+        offsets: list[int] = []
+        off = 0
+        for run in active:
+            batch = run.candidates.size
+            block = slice(off, off + batch)
+            freq_all[block] = run.freq
+            act_all[block] = run.activity
+            duty_all[block] = run.duties
+            on_all[block] = run.powered
+            temps0_all[block] = run.temps
+            scale_all[block] = run.leak_scale
+            rows = np.arange(off, off + batch)
+            freq_all[rows, run.candidates] = run.thread.fmin_ghz
+            act_all[rows, run.candidates] = run.thread.mean_activity
+            duty_all[rows, run.candidates] = run.thread.duty_cycle
+            offsets.append(off)
+            off += batch
+
+        temps_all = predictor0.predict_batch(
+            freq_all,
+            act_all,
+            on_all,
+            initial_temps_k=temps0_all,
+            leakage_scale=scale_all,
+        )
+
+        # Per-lane feasibility keep, then one stacked health walk over
+        # the surviving rows (each row carrying its lane's health).
+        kept: list[tuple[np.ndarray, np.ndarray]] = []
+        for run, off in zip(active, offsets):
+            batch = run.candidates.size
+            temps_b = temps_all[off : off + batch]
+            duty_b = duty_all[off : off + batch]
+            tmax = temps_b.max(axis=1)
+            thermally_ok = tmax <= run.mapper.tsafe_k
+            if thermally_ok.all():
+                keep = np.arange(batch)
+                temps_keep, duty_keep = temps_b, duty_b
+            elif thermally_ok.any():
+                keep = np.flatnonzero(thermally_ok)
+                temps_keep, duty_keep = temps_b[keep], duty_b[keep]
+            else:
+                # Every placement overshoots; take the least-bad one
+                # (the sequential path's naive-optimization fallback).
+                keep = np.array([int(np.argmin(tmax))])
+                temps_keep, duty_keep = temps_b[keep], duty_b[keep]
+            run.keep = keep
+            run.temps_b = temps_b
+            kept.append((temps_keep, duty_keep))
+
+        ktotal = sum(len(run.keep) for run in active)
+        temps_kept = np.empty((ktotal, n))
+        duty_kept = np.empty((ktotal, n))
+        health_rows = np.empty((ktotal, n))
+        kept_offsets: list[int] = []
+        koff = 0
+        for run, (temps_keep, duty_keep) in zip(active, kept):
+            k = len(run.keep)
+            temps_kept[koff : koff + k] = temps_keep
+            duty_kept[koff : koff + k] = duty_keep
+            health_rows[koff : koff + k] = run.health_now
+            kept_offsets.append(koff)
+            koff += k
+
+        health_all = est0.estimate_next_health_rows(
+            temps_kept, duty_kept, health_rows, epoch_years
+        )
+
+        # Scoring, the winner commit, and the carried-forward running
+        # vectors stay per lane — map_threads's exact expressions.
+        for run, koff in zip(active, kept_offsets):
+            mapper = run.mapper
+            thread = run.thread
+            k = len(run.keep)
+            health_b = health_all[koff : koff + k]
+            kept_cores = run.candidates[run.keep]
+            h_candidate_next = health_b[np.arange(k), kept_cores]
+            weights = mapper.weighting.weight(
+                run.fmax[kept_cores],
+                thread.fmin_ghz,
+                h_candidate_next,
+                run.health_now[kept_cores],
+                run.elapsed,
+            )
+            weights = weights + mapper.chip_health_coeff * n * health_b.mean(
+                axis=1
+            )
+            if mapper.comm_weight > 0:
+                weights = weights - mapper.comm_weight * mapper._comm_penalty(
+                    run.state, thread, kept_cores, comm=run.comm
+                )
+
+            winner = int(np.argmax(weights))
+            core = int(kept_cores[winner])
+            run.state.place(run.thread_index, core, thread.fmin_ghz)
+
+            run.freq[core] = thread.fmin_ghz
+            run.activity[core] = thread.mean_activity
+            run.duties[core] = thread.duty_cycle
+            run.temps = run.temps_b[run.keep[winner]]
+            if run.comm is not None:
+                insort(run.comm.setdefault(thread.app_name, []), core)

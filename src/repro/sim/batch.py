@@ -217,16 +217,40 @@ class BatchLifetimeSimulator:
         n = lanes[0].ctx.chip.num_cores
         network = lanes[0].ctx.network
 
-        # Decisions stay per-chip Python: fully independent RNG streams
-        # and stateless policies make lane order irrelevant.
+        # Mix draws stay per chip: fully independent RNG streams make
+        # lane order irrelevant.
         for lane in lanes:
-            ctx = lane.ctx
             lane.mix = self._mix_factory(
                 epoch, lane.num_threads, lane.factory.rng("epoch", epoch)
             )
-            lane.start_years = ctx.elapsed_years
-            with obs.timer("sim.decision"):
-                lane.state = policy.prepare_epoch(ctx, lane.mix, cfg.epoch_years)
+            lane.start_years = lane.ctx.elapsed_years
+
+        # Decisions: one cross-lane batched call when the config and the
+        # policy support it (the policy's prepare_epoch_batch stacks the
+        # numpy-friendly parts and is bit-identical per lane); the
+        # per-chip loop otherwise.
+        batch_prepare = (
+            getattr(policy, "prepare_epoch_batch", None)
+            if cfg.batch_decision
+            else None
+        )
+        if batch_prepare is not None:
+            with obs.timer("sim.decision"), obs.timer("sim.batch_decision"):
+                states = batch_prepare(
+                    [lane.ctx for lane in lanes],
+                    [lane.mix for lane in lanes],
+                    cfg.epoch_years,
+                )
+            for lane, state in zip(lanes, states):
+                lane.state = state
+        else:
+            for lane in lanes:
+                with obs.timer("sim.decision"):
+                    lane.state = policy.prepare_epoch(
+                        lane.ctx, lane.mix, cfg.epoch_years
+                    )
+        for lane in lanes:
+            ctx = lane.ctx
             lane.state.validate()
             lane.dcm_on = lane.state.powered_on
             lane.fmax_now = ctx.chip.fmax_init_ghz * ctx.health_state.health
@@ -332,12 +356,13 @@ class BatchLifetimeSimulator:
                 1.0,
             )
             worst_mat[b] = lane.stats.worst
-        advance_batch(
-            [lane.ctx.health_state for lane in lanes],
-            worst_mat,
-            duties_mat,
-            cfg.epoch_years,
-        )
+        with obs.timer("sim.aging"):
+            advance_batch(
+                [lane.ctx.health_state for lane in lanes],
+                worst_mat,
+                duties_mat,
+                cfg.epoch_years,
+            )
 
         for b, lane in enumerate(lanes):
             ctx = lane.ctx
@@ -417,7 +442,8 @@ class BatchLifetimeSimulator:
                 if lane.fused and lane.segment is None:
                     seg_end = min(steps, step + SEGMENT_CHUNK_STEPS)
                     segment = compile_segment(
-                        lane.state, lane.ctx.power_model, times, step, seg_end, dt
+                        lane.state, lane.ctx.power_model, times, step, seg_end, dt,
+                        use_cache=cfg.segment_cache,
                     )
                     if segment is None:
                         lane.fused = False  # step-by-step for the rest

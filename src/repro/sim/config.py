@@ -50,6 +50,18 @@ class SimulationConfig:
         (:mod:`repro.sim.window`).  Results are bit-identical either
         way; ``False`` (CLI ``--no-fused-window``) restores the
         step-by-step reference path.
+    batch_decision:
+        Let the batched population engine run epoch decisions through a
+        policy's cross-lane ``prepare_epoch_batch`` (the stacked
+        Algorithm 1 estimate loop of :mod:`repro.core.mapper_batch`).
+        Results are bit-identical either way; ``False`` (CLI
+        ``--no-batch-decision``) restores the per-chip decision loop.
+    segment_cache:
+        Reuse compiled-segment payloads across identical (state,
+        phase-trace content, step range) compiles via the process-level
+        content-keyed cache (:mod:`repro.sim.window`).  Results are
+        bit-identical either way; ``False`` (CLI ``--no-segment-cache``)
+        recompiles every segment.
     """
 
     lifetime_years: float = 10.0
@@ -63,6 +75,8 @@ class SimulationConfig:
     settle_duty_fraction: float = 0.3
     seed: int = 0
     fused_window: bool = True
+    batch_decision: bool = True
+    segment_cache: bool = True
 
     def __post_init__(self) -> None:
         check_positive("lifetime_years", self.lifetime_years)

@@ -230,7 +230,8 @@ class LifetimeSimulator:
             0.0,
             1.0,
         )
-        ctx.health_state.advance(stats.worst, duties, cfg.epoch_years)
+        with obs.timer("sim.aging"):
+            ctx.health_state.advance(stats.worst, duties, cfg.epoch_years)
         ctx.last_temps_k = integrator.core_temperatures(all_nodes).copy()
 
         qos = self._qos_violations(state, fmax_now, departed_threads)
@@ -360,7 +361,8 @@ class LifetimeSimulator:
                     )
                     seg_end = min(seg_end, max(dep_step, step + 1))
                 segment = compile_segment(
-                    state, ctx.power_model, times, step, seg_end, dt
+                    state, ctx.power_model, times, step, seg_end, dt,
+                    use_cache=cfg.segment_cache,
                 )
                 if segment is None:
                     engine = None  # unsupported trace type: step-by-step

@@ -71,6 +71,13 @@ class ThermalPredictor:
         self.power_model = power_model
         self.leakage_iterations = int(leakage_iterations)
 
+    @property
+    def baseline_k(self) -> np.ndarray:
+        """Per-core zero-power operating point (read-only view)."""
+        view = self._baseline.view()
+        view.flags.writeable = False
+        return view
+
     @classmethod
     def learn(
         cls,
@@ -169,15 +176,22 @@ class ThermalPredictor:
         activity: np.ndarray,
         powered_on: np.ndarray,
         initial_temps_k: np.ndarray | None = None,
+        leakage_scale: np.ndarray | None = None,
     ) -> np.ndarray:
         """Predict temperatures for a batch of candidate states at once.
 
         All inputs are ``(batch, num_cores)``; returns the matching
         ``(batch, num_cores)`` temperature matrix.  This is the hot path
         of Algorithm 1: one matrix product scores every candidate core
-        for a thread simultaneously.  ``initial_temps_k`` (a flat
-        per-core vector) warm-starts every batch row from the chip's
-        current thermal state.
+        for a thread simultaneously.  ``initial_temps_k`` warm-starts the
+        leakage correction from the chip's current thermal state — a flat
+        per-core vector shared by every row, or a ``(batch, num_cores)``
+        matrix giving each row its own start (the cross-lane batched
+        mapper stacks rows from chips at different thermal states).
+        ``leakage_scale`` likewise overrides the power model's per-core
+        process-variation scale per row; rows that carry a lane's own
+        scale vector see the exact elementwise product the unstacked
+        call computes, so results stay bit-identical.
         """
         freq_ghz = np.atleast_2d(np.asarray(freq_ghz, dtype=float))
         activity = np.atleast_2d(np.asarray(activity, dtype=float))
@@ -192,11 +206,19 @@ class ThermalPredictor:
         dyn = self.power_model.dynamic.power_w(freq_ghz, activity)
         np.multiply(dyn, powered_on, out=dyn)
         leakage = self.power_model.leakage
-        leak_scale = self.power_model.leakage_scale
         gated = leakage.gated_w
         # (nominal * scale) hoisted out of the correction loop — the
         # same left-to-right product the in-loop expression computed.
-        nominal_scaled = leakage.nominal_w * leak_scale[None, :]
+        if leakage_scale is None:
+            leak_scale = self.power_model.leakage_scale
+            nominal_scaled = leakage.nominal_w * leak_scale[None, :]
+        else:
+            scale = np.asarray(leakage_scale, dtype=float)
+            if scale.shape != freq_ghz.shape:
+                raise ValueError(
+                    "leakage_scale must match the (batch, num_cores) inputs"
+                )
+            nominal_scaled = leakage.nominal_w * scale
 
         if initial_temps_k is None:
             temps = np.broadcast_to(
@@ -204,9 +226,17 @@ class ThermalPredictor:
             ).copy()
         else:
             initial = np.asarray(initial_temps_k, dtype=float)
-            if initial.shape != (self.num_cores,):
-                raise ValueError("initial_temps_k must be a flat per-core vector")
-            temps = np.broadcast_to(initial, (batch, self.num_cores)).copy()
+            if initial.shape == (self.num_cores,):
+                temps = np.broadcast_to(
+                    initial, (batch, self.num_cores)
+                ).copy()
+            elif initial.shape == freq_ghz.shape:
+                temps = initial.astype(float, copy=True)
+            else:
+                raise ValueError(
+                    "initial_temps_k must be a flat per-core vector or a "
+                    "(batch, num_cores) matrix"
+                )
         # The correction loop inlines LeakageModel.temperature_factor
         # into reused scratch buffers (temperatures here evolve from
         # physical states and are trusted positive).  Every expression

@@ -108,7 +108,20 @@ class TestParallelMetricsAggregation:
     def test_parallel_metrics_identical_to_serial(self, pieces):
         serial = self._counters(pieces, workers=1)
         parallel = self._counters(pieces, workers=2)
-        assert serial.counters == parallel.counters
+        # The compiled-segment cache is process-level: the serial run
+        # sees this process's warm cache while workers start cold, so
+        # only the hit/miss occupancy split may differ between runs.
+        occupancy = {"sim.segment_cache_hits", "sim.segment_cache_misses"}
+        assert {
+            k: v for k, v in serial.counters.items() if k not in occupancy
+        } == {
+            k: v for k, v in parallel.counters.items() if k not in occupancy
+        }
+        assert serial.counters.get(
+            "sim.segment_cache_hits", 0
+        ) + serial.counters.get("sim.segment_cache_misses", 0) == parallel.counters.get(
+            "sim.segment_cache_hits", 0
+        ) + parallel.counters.get("sim.segment_cache_misses", 0)
         assert {n: s.count for n, s in serial.timers.items()} == {
             n: s.count for n, s in parallel.timers.items()
         }

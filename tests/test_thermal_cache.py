@@ -165,9 +165,19 @@ class TestBitIdentity:
                 for le, re in zip(left.epochs, right.epochs):
                     assert np.array_equal(le.health_after, re.health_after)
                     assert np.array_equal(le.worst_temps_k, re.worst_temps_k)
-        assert (
-            serial_reg.snapshot().counters == parallel_reg.snapshot().counters
-        )
+        # Segment-cache occupancy depends on process warmth (serial
+        # reuses this process's cache, workers start cold), so hit/miss
+        # splits may differ while everything physical stays identical.
+        occupancy = {"sim.segment_cache_hits", "sim.segment_cache_misses"}
+
+        def physical(reg):
+            return {
+                k: v
+                for k, v in reg.snapshot().counters.items()
+                if k not in occupancy
+            }
+
+        assert physical(serial_reg) == physical(parallel_reg)
 
 
 class TestLifecycle:
