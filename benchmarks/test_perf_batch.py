@@ -47,6 +47,7 @@ PHASE_TIMERS = (
     "sim.settle",
     "sim.window",
     "sim.aging",
+    "aging.walk",
 )
 
 ROUNDS = 3
@@ -109,6 +110,10 @@ def _bench_policy(policy, batch_pieces, benchmark):
     benchmark.extra_info["decision_batched_lanes"] = snapshot.counters.get(
         "sim.decision_batched_lanes", 0
     )
+    for counter in ("walk_unique", "walk_dedup_hits", "walk_delta_hits"):
+        benchmark.extra_info[counter] = snapshot.counters.get(
+            f"aging.{counter}", 0
+        )
 
     benchmark.extra_info["chips"] = BATCH_CHIPS
     benchmark.extra_info["per_chip_min_ms"] = base_min * 1e3

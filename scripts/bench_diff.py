@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Diff a fresh bench run against the committed ``BENCH_PR*.json``.
+
+Usage::
+
+    python scripts/bench_diff.py bench_ci.json \
+        [--committed BENCH_PR8.json] [--output bench_regression.md] \
+        [--threshold 1.15]
+
+Loads the fresh stats (raw pytest-benchmark output or a
+``run_benchmarks.py`` payload), finds the committed baseline — by
+default the highest-numbered ``BENCH_PR*.json`` in the repo root — and
+writes a markdown summary flagging tests whose mean slowed past the
+threshold.  The summary is informational: shared CI runners make
+wall-clock comparisons noisy, so this script always exits 0 and the CI
+bench job stays non-blocking; the artifact exists so a human reviewing
+a suspicious PR can see *which* bench and *which* phase moved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from run_benchmarks import _load_stats  # noqa: E402
+
+
+def latest_committed(root: str = REPO_ROOT) -> str | None:
+    """Path of the highest-numbered ``BENCH_PR<N>.json``, or ``None``."""
+    best, best_n = None, -1
+    for path in glob.glob(os.path.join(root, "BENCH_PR*.json")):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", os.path.basename(path))
+        if match and int(match.group(1)) > best_n:
+            best, best_n = path, int(match.group(1))
+    return best
+
+
+def diff_stats(fresh: dict, committed: dict, threshold: float) -> list[dict]:
+    """Per-common-test comparison rows, slowest ratio first."""
+    rows = []
+    for name in sorted(set(fresh) & set(committed)):
+        f_mean = fresh[name].get("mean_ms")
+        c_mean = committed[name].get("mean_ms")
+        if not f_mean or not c_mean:
+            continue
+        rows.append(
+            {
+                "name": name,
+                "committed_ms": c_mean,
+                "fresh_ms": f_mean,
+                "ratio": f_mean / c_mean,
+                "regressed": f_mean / c_mean > threshold,
+            }
+        )
+    rows.sort(key=lambda row: row["ratio"], reverse=True)
+    return rows
+
+
+def render_markdown(
+    rows: list[dict], committed_name: str, threshold: float
+) -> str:
+    lines = [
+        "# Bench diff vs committed baseline",
+        "",
+        f"Baseline: `{committed_name}` - flagging mean-time ratios above "
+        f"{threshold:.2f}x.  Informational only (shared-runner wall clocks "
+        "are noisy); this never gates a merge.",
+        "",
+    ]
+    if not rows:
+        lines.append("No common benchmarks between the two payloads.")
+        return "\n".join(lines) + "\n"
+    lines += [
+        "| benchmark | committed (ms) | fresh (ms) | ratio | |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        flag = "**regression?**" if row["regressed"] else ""
+        lines.append(
+            f"| {row['name']} | {row['committed_ms']:.1f} | "
+            f"{row['fresh_ms']:.1f} | {row['ratio']:.2f}x | {flag} |"
+        )
+    flagged = [row for row in rows if row["regressed"]]
+    lines.append("")
+    lines.append(
+        f"{len(flagged)} of {len(rows)} benchmark(s) exceeded the threshold."
+        if flagged
+        else f"All {len(rows)} benchmark(s) within the threshold."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="fresh bench JSON to compare")
+    parser.add_argument(
+        "--committed",
+        help="baseline stats JSON (default: latest BENCH_PR*.json)",
+    )
+    parser.add_argument("--output", default="bench_regression.md")
+    parser.add_argument("--threshold", type=float, default=1.15)
+    args = parser.parse_args(argv)
+
+    committed_path = args.committed or latest_committed()
+    if committed_path is None:
+        summary = "# Bench diff\n\nNo committed BENCH_PR*.json found.\n"
+        rows = []
+    else:
+        fresh = _load_stats(args.fresh)
+        committed = _load_stats(committed_path)
+        rows = diff_stats(fresh, committed, args.threshold)
+        summary = render_markdown(
+            rows, os.path.basename(committed_path), args.threshold
+        )
+    with open(args.output, "w") as handle:
+        handle.write(summary)
+    print(summary)
+    print(f"wrote {args.output}")
+    return 0  # never gates
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,18 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_SUITE = os.path.join("benchmarks", "test_perf_simulator.py")
 
+#: Timers that run *inside* another phase timer.  Their time is already
+#: counted by the parent, so they are excluded from the top-level total
+#: (shares of the remaining phases now sum to ~1.0 instead of past it)
+#: and reported with an explicit ``nested_in``/``share_of_parent``
+#: instead of a misleading top-level share.  ``None`` marks a timer
+#: whose spans fall under several phases (e.g. the aging-table walk
+#: runs inside both the decision and the aging phases).
+NESTED_TIMERS = {
+    "sim.batch_decision": "sim.decision",
+    "aging.walk": None,
+}
+
 
 def _distill(raw: dict) -> dict:
     """Per-test stats (ms) from a pytest-benchmark JSON payload."""
@@ -46,21 +58,28 @@ def _distill(raw: dict) -> dict:
             entry["extra_info"] = bench["extra_info"]
             phases = bench["extra_info"].get("phases_ms")
             if phases:
-                total = sum(phases.values())
-                # "sim.batch_decision" nests inside "sim.decision";
-                # shares are of the top-level phase total.
                 top = {
-                    k: v for k, v in phases.items()
-                    if k != "sim.batch_decision"
+                    k: v for k, v in phases.items() if k not in NESTED_TIMERS
                 }
                 top_total = sum(top.values())
-                entry["phase_breakdown"] = {
-                    name: {
+                breakdown = {}
+                for name, ms in phases.items():
+                    if name not in NESTED_TIMERS:
+                        breakdown[name] = {
+                            "total_ms": ms,
+                            "share": ms / top_total if top_total else 0.0,
+                        }
+                        continue
+                    parent = NESTED_TIMERS[name]
+                    nested = {
                         "total_ms": ms,
-                        "share": ms / top_total if top_total else 0.0,
+                        "nested_in": parent or "multiple phases",
                     }
-                    for name, ms in phases.items()
-                } if total else {}
+                    parent_ms = phases.get(parent, 0.0) if parent else 0.0
+                    if parent_ms:
+                        nested["share_of_parent"] = ms / parent_ms
+                    breakdown[name] = nested
+                entry["phase_breakdown"] = breakdown if top_total else {}
         out[bench["name"]] = entry
     return out
 

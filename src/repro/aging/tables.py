@@ -188,6 +188,14 @@ class AgingTable:
             [0, n_y, n_d * n_y, (n_d + 1) * n_y], dtype=np.intp
         ).reshape(4, 1) + np.array([0, 1], dtype=np.intp)
 
+    def __getstate__(self):
+        # The walk engine (repro.aging.walk) caches itself on the table;
+        # it is a pure memo, so pickles to campaign workers drop it and
+        # each process rebuilds an empty one lazily.
+        state = self.__dict__.copy()
+        state.pop("_walk_engine", None)
+        return state
+
     @property
     def max_age_years(self) -> float:
         """Upper edge of the age axis."""
@@ -305,8 +313,53 @@ class AgingTable:
         rows[3] = rows[2] + 1
         return rows, rows * len(self.age_grid_years)
 
+    def _count_bounds(self, rows, pos, health_b):
+        """Count-table bounds of the blended crossing: (lo_b, hi_b, floor).
+
+        ``lo_b``/``hi_b`` bracket the number of age columns whose
+        blended health strictly exceeds ``health_b``, and ``floor`` is
+        the shortest leading flat run among the participating corners.
+        The bounds depend only on the corner row set, the positivity
+        pattern ``pos`` of the corner weights, and the health bits — a
+        fact the walk engine (:mod:`repro.aging.walk`) exploits by
+        computing them once per distinct (rows, pos, health) group and
+        scattering; the gathered integers are identical either way.
+
+        The count tables (see ``__post_init__``) split the columns
+        rigorously, *including* floating-point rounding of the blend
+        itself: a blend is a convex combination of its four corner
+        values, computed with a handful of IEEE products and sums, so
+        it lies within ``_BLEND_MARGIN`` of the corner interval.
+        Columns where even the max corner stays below ``h - margin``
+        can never exceed ``h``; columns where the min corner exceeds
+        ``h + margin`` always do (for non-increasing curves those are
+        exactly the first ``min corner count at h + margin`` columns).
+        Zero-weight corners contribute an exact ``+0.0`` to the blend
+        (their values never matter bit-for-bit), so they are excluded
+        from the bounds.  That keeps e.g. dark cores — duty exactly 0,
+        whose other duty corner would otherwise drag in an unrelated
+        curve — tightly bracketed by the curves actually blended.
+        """
+        n_y = len(self.age_grid_years)
+        margin = _BLEND_MARGIN
+        edges = self._count_edges
+        counts = self._edge_counts
+        # Right-bisection of the sentinel-free edge array indexes the
+        # count table directly (column 0 is the implicit ``-inf``).
+        b_sure = np.searchsorted(edges, health_b + margin, side="right")
+        b_maybe = np.searchsorted(edges, health_b - margin, side="right")
+        if not self._counts_exact:
+            # Dyadic buckets: the stored edges bracket the in-bucket
+            # counts, so take the conservative side of each bucket.
+            b_sure += 1
+        lo_b = np.where(pos, counts[rows, b_sure], n_y).min(axis=0)
+        hi_b = np.where(pos, counts[rows, b_maybe], 0).max(axis=0)
+        flat_floor = np.where(pos, self._flat_prefix[rows], n_y).min(axis=0)
+        return lo_b, hi_b, flat_floor
+
     def _ages_located(
-        self, it, ft, idx_d, fd, health_b, weights=None, rows=None, bases=None
+        self, it, ft, idx_d, fd, health_b, weights=None, rows=None, bases=None,
+        bounds=None, grid_index=None,
     ) -> np.ndarray:
         """Inverse age lookup from pre-located (T, d) positions.
 
@@ -321,14 +374,21 @@ class AgingTable:
         may carry the stacked corner weights
         (:meth:`_corner_weights`) and corner row/offset indices
         (:meth:`_corner_rows`) so a caller that also performs the
-        forward read computes them once.
+        forward read computes them once.  ``bounds`` may carry the
+        (lo_b, hi_b, floor) triple of :meth:`_count_bounds` computed by
+        the walk engine's per-group dedup; ``grid_index``, when given
+        an ``intp`` batch-shaped array, is filled with the age-grid
+        index each returned age lands on exactly (``n_y`` for the
+        zero-age clamp, ``-1`` when the age is a genuine interpolant) —
+        the hook the engine's fused age-shift lookup keys on.
         """
         if not self._age_monotone:
+            if grid_index is not None:
+                grid_index.fill(-1)
             curves = self._curves_located(it, ft, idx_d, fd)
             return self._ages_on_curves(curves, health_b)
         n_y = len(self.age_grid_years)
         flat = self._values_flat
-        batch = it.shape[0]
         if rows is None:
             rows, bases = self._corner_rows(it, idx_d)
         # Bilinear corner weights stacked (4, batch): one in-place
@@ -340,44 +400,23 @@ class AgingTable:
             weights = self._corner_weights(ft, fd)
 
         # count = number of age columns whose blended health strictly
-        # exceeds the target.  The count tables (see __post_init__)
-        # split the columns rigorously, *including* floating-point
-        # rounding of the blend itself: a blend is a convex combination
-        # of its four corner values, computed with a handful of IEEE
-        # products and sums, so it lies within ``_BLEND_MARGIN`` of the
-        # corner interval.  Columns where even the max corner stays
-        # below ``h - margin`` can never exceed ``h``; columns where the
-        # min corner exceeds ``h + margin`` always do (for non-
-        # increasing curves those are exactly the first ``min corner
-        # count at h + margin`` columns).  Only the residual ambiguous
-        # columns — corner values hugging the target, e.g. pristine
-        # health 1.0 against the flat start of every curve — are
-        # sampled, with the very IEEE products and left-to-right sums
-        # of the full-curve blend, so the count is bit-identical to
+        # exceeds the target, bracketed by the count tables (see
+        # :meth:`_count_bounds`).  Only the residual ambiguous columns
+        # — corner values hugging the target, e.g. pristine health 1.0
+        # against the flat start of every curve — are sampled, with the
+        # very IEEE products and left-to-right sums of the full-curve
+        # blend, so the count is bit-identical to
         # :meth:`_ages_on_curves`.  Corners mostly agree, so the bulk
         # of a batch needs no sample at all or a single vectorized
         # comparison, and only genuine corner disagreement — a
-        # near-dead hot corner next to a pristine cool one —
-        # materializes its few full curves.
-        margin = _BLEND_MARGIN
-        edges = self._count_edges
-        counts = self._edge_counts
-        # Right-bisection of the sentinel-free edge array indexes the
-        # count table directly (column 0 is the implicit ``-inf``).
-        b_sure = np.searchsorted(edges, health_b + margin, side="right")
-        b_maybe = np.searchsorted(edges, health_b - margin, side="right")
-        if not self._counts_exact:
-            # Dyadic buckets: the stored edges bracket the in-bucket
-            # counts, so take the conservative side of each bucket.
-            b_sure += 1
-        # Zero-weight corners contribute an exact ``+0.0`` to the blend
-        # (their values never matter bit-for-bit), so they are excluded
-        # from the bounds.  That keeps e.g. dark cores — duty exactly 0,
-        # whose other duty corner would otherwise drag in an unrelated
-        # curve — tightly bracketed by the curves actually blended.
-        pos = weights > 0.0
-        lo_b = np.where(pos, counts[rows, b_sure], n_y).min(axis=0)
-        hi_b = np.where(pos, counts[rows, b_maybe], 0).max(axis=0)
+        # near-dead hot corner next to a pristine cool one — gathers
+        # its few ambiguous columns.
+        if bounds is None:
+            lo_b, hi_b, flat_floor = self._count_bounds(
+                rows, weights > 0.0, health_b
+            )
+        else:
+            lo_b, hi_b, flat_floor = bounds
         gap = hi_b - lo_b
         # A positive corner that is constant over the ambiguous columns
         # (all inside its leading flat run) contributes the same addend
@@ -391,7 +430,6 @@ class AgingTable:
         # of the comparison, and the column clamp only ever binds for
         # them) — cheaper than the subset gathers it replaces when, as
         # in Algorithm 1's scoring batches, most elements are ambiguous.
-        flat_floor = np.where(pos, self._flat_prefix[rows], n_y).min(axis=0)
         one_sample = (gap <= 1) | (hi_b <= flat_floor)
         g = flat[bases + np.minimum(lo_b, n_y - 1)]
         g *= weights
@@ -400,32 +438,106 @@ class AgingTable:
         wide = np.flatnonzero(~one_sample)
         if wide.size:
             # Genuine corner disagreement over a sloped stretch — e.g. a
-            # near-dead hot corner next to a pristine cool one — falls
-            # back to materializing those few full curves.
-            g = self._values2d[rows[:, wide]]
+            # near-dead hot corner next to a pristine cool one.  Only
+            # the ambiguous columns ``[lo_b, hi_b)`` can decide the
+            # count: every column below ``lo_b`` blends above the
+            # target and every column at or past ``hi_b`` blends below
+            # it (the bracket argument of :meth:`_count_bounds`), so a
+            # gap-padded gather — rows padded to the widest gap, pad
+            # columns masked out — counts exactly what the full-curve
+            # comparison counted, without materializing ``n_y``-wide
+            # curves.  The blends themselves are the same IEEE products
+            # and left-to-right sums either way.
+            lo_w = lo_b[wide]
+            cols = lo_w[:, None] + np.arange(int(gap[wide].max()))
+            live = cols < hi_b[wide, None]
+            np.minimum(cols, n_y - 1, out=cols)
+            g = flat[bases[:, wide, None] + cols[None, :, :]]
             g *= weights[:, wide, None]
             acc = _sum_corners(g)
-            count[wide] = np.count_nonzero(acc > health_b[wide, None], axis=1)
+            count[wide] = lo_w + np.count_nonzero(
+                (acc > health_b[wide, None]) & live, axis=1
+            )
+        return self._interpolate_counts(
+            count, health_b, weights, bases, grid_index
+        )
+
+    def _interpolate_counts(
+        self, count, health_b, weights, bases, grid_index=None
+    ) -> np.ndarray:
+        """Ages from crossing counts: blend both bracketing columns.
+
+        Elements with ``count == 0`` (age 0) or ``count == n_y`` (edge
+        clamp) take fixed values, so the two-column blend only has to
+        run on the interior elements; when enough of the batch sits on
+        those fixed values — the common campaign shape, where pristine
+        and fenced-dark cores dominate — the blend gathers the interior
+        subset instead.  Either branch computes the identical IEEE
+        products, sums and quotient per interior element, so the choice
+        (a pure cost heuristic) never changes a bit.
+        """
+        n_y = len(self.age_grid_years)
+        batch = count.shape[0]
+        flat = self._values_flat
         lo = np.minimum(np.maximum(count - 1, 0), n_y - 2)
-        # Both bracketing columns in one stacked gather/blend — the
-        # same samples blend(lo) and blend(lo + 1) would produce.
-        cols = np.empty((2, batch), dtype=np.intp)
-        cols[0] = lo
-        np.add(lo, 1, out=cols[1])
-        g = flat[bases[:, None, :] + cols]
-        g *= weights[:, None, :]
-        acc = _sum_corners(g)
-        h_lo, h_hi = acc[0], acc[1]  # h_hi smaller or equal to h_lo
-        span = h_lo - h_hi
-        # Masked divide instead of errstate + where: zero-span segments
-        # keep the 0.0 fill, dividing elements produce the identical
-        # quotient, and the invalid operation never executes.
-        frac = np.zeros(batch)
-        np.divide(h_lo - health_b, span, out=frac, where=span > 0)
-        frac = np.minimum(np.maximum(frac, 0.0), 1.0)
-        ages = self.age_grid_years[lo] + frac * self._age_spans[lo]
-        ages = np.where(count == 0, 0.0, ages)
-        ages = np.where(count == n_y, self.max_age_years, ages)
+        at_start = count == 0
+        at_end = count == n_y
+        interior = np.flatnonzero(~at_start & ~at_end)
+        if interior.size * 4 >= batch * 3:
+            # Mostly interior: the full-batch blend skips the subset
+            # gathers (fixed-value elements are overridden below).
+            cols = np.empty((2, batch), dtype=np.intp)
+            cols[0] = lo
+            np.add(lo, 1, out=cols[1])
+            g = flat[bases[:, None, :] + cols]
+            g *= weights[:, None, :]
+            acc = _sum_corners(g)
+            h_lo, h_hi = acc[0], acc[1]  # h_hi smaller or equal to h_lo
+            span = h_lo - h_hi
+            # Masked divide instead of errstate + where: zero-span
+            # segments keep the 0.0 fill, dividing elements produce the
+            # identical quotient, and the invalid operation never
+            # executes.
+            frac = np.zeros(batch)
+            np.divide(h_lo - health_b, span, out=frac, where=span > 0)
+            frac = np.minimum(np.maximum(frac, 0.0), 1.0)
+            ages = self.age_grid_years[lo] + frac * self._age_spans[lo]
+            exact_interior = None
+        else:
+            lo_i = lo[interior]
+            cols = np.empty((2, interior.size), dtype=np.intp)
+            cols[0] = lo_i
+            np.add(lo_i, 1, out=cols[1])
+            g = flat[bases[:, None, interior] + cols]
+            g *= weights[:, None, interior]
+            acc = _sum_corners(g)
+            h_lo, h_hi = acc[0], acc[1]
+            span = h_lo - h_hi
+            frac = np.zeros(interior.size)
+            np.divide(h_lo - health_b[interior], span, out=frac, where=span > 0)
+            frac = np.minimum(np.maximum(frac, 0.0), 1.0)
+            ages = np.zeros(batch)
+            ages[interior] = (
+                self.age_grid_years[lo_i] + frac * self._age_spans[lo_i]
+            )
+            exact_interior = interior[frac == 0.0]
+        ages = np.where(at_start, 0.0, ages)
+        ages = np.where(at_end, self.max_age_years, ages)
+        if grid_index is not None:
+            # Where did the age land?  ``frac == 0`` interpolants reduce
+            # to ``grid[lo] + 0.0 * span = grid[lo]`` exactly; the two
+            # clamps are grid values by construction (``n_y`` flags the
+            # 0.0 clamp, which generic grids may not contain).
+            grid_index.fill(-1)
+            if exact_interior is None:
+                on = frac == 0.0
+                on &= ~at_start
+                on &= ~at_end
+                grid_index[on] = lo[on]
+            else:
+                grid_index[exact_interior] = lo[exact_interior]
+            grid_index[at_start] = n_y
+            grid_index[at_end] = n_y - 1
         return ages
 
     def _ages_on_curves(self, curves, health_b) -> np.ndarray:
@@ -439,8 +551,12 @@ class AgingTable:
         h_lo = curves[rows, lo]
         h_hi = curves[rows, lo + 1]  # smaller or equal to h_lo
         span = h_lo - h_hi
-        with np.errstate(divide="ignore", invalid="ignore"):
-            frac = np.where(span > 0, (h_lo - health_b) / span, 0.0)
+        # Masked divide, matching the fast path's idiom: zero-span
+        # segments keep the 0.0 fill, dividing elements produce the
+        # identical quotient, and the invalid operation never executes
+        # (so no errstate guard is needed).
+        frac = np.zeros(curves.shape[0])
+        np.divide(h_lo - health_b, span, out=frac, where=span > 0)
         frac = np.clip(frac, 0.0, 1.0)
         ages = self.age_grid_years[lo] + frac * (
             self.age_grid_years[lo + 1] - self.age_grid_years[lo]
@@ -547,11 +663,25 @@ def build_aging_table(
     age_grid_years = (
         _default_age_grid() if age_grid_years is None else np.asarray(age_grid_years)
     )
-    values = np.empty((len(temp_grid_k), len(duty_grid), len(age_grid_years)))
-    for i, temp in enumerate(temp_grid_k):
-        for j, duty in enumerate(duty_grid):
-            for k, age in enumerate(age_grid_years):
-                values[i, j, k] = estimator.relative_fmax(temp, duty, age)
+    cls = type(estimator)
+    if (
+        getattr(cls, "relative_fmax", None) is CoreAgingEstimator.relative_fmax
+        and getattr(cls, "aged_critical_delay_ps", None)
+        is CoreAgingEstimator.aged_critical_delay_ps
+    ):
+        # Stock estimator: one broadcast evaluation of the whole grid,
+        # bit-identical to the scalar loop (see relative_fmax_grid).
+        values = estimator.relative_fmax_grid(
+            temp_grid_k, duty_grid, age_grid_years
+        )
+    else:
+        # A subclass overrode the scalar evaluation (e.g. fault-injection
+        # estimators in tests) — honor it point by point.
+        values = np.empty((len(temp_grid_k), len(duty_grid), len(age_grid_years)))
+        for i, temp in enumerate(temp_grid_k):
+            for j, duty in enumerate(duty_grid):
+                for k, age in enumerate(age_grid_years):
+                    values[i, j, k] = estimator.relative_fmax(temp, duty, age)
     return AgingTable(temp_grid_k, duty_grid, age_grid_years, values)
 
 

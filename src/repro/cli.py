@@ -87,6 +87,27 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
             "bit-identical either way)"
         ),
     )
+    parser.add_argument(
+        "--no-walk-dedup",
+        action="store_true",
+        help=(
+            "call the aging table directly instead of through the "
+            "deduplicating, delta-aware walk engine (results are "
+            "bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--approx-table-walk",
+        type=float,
+        metavar="TOL_K",
+        default=None,
+        help=(
+            "opt-in approximate table walks: snap predicted temperatures "
+            "to TOL_K kelvin before walking the aging table, raising walk "
+            "dedup/memo hit rates at a bounded health error (default: "
+            "exact walks)"
+        ),
+    )
 
 
 def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
@@ -293,6 +314,8 @@ def _cmd_simulate(args) -> int:
         seed=args.seed, fused_window=not args.no_fused_window,
         batch_decision=not args.no_batch_decision,
         segment_cache=not args.no_segment_cache,
+        walk_dedup=not args.no_walk_dedup,
+        approx_table_walk=args.approx_table_walk,
     )
     policy = POLICIES[args.policy]()
     print(f"Simulating {chip.chip_id} under {policy.name} for {args.years} years...")
@@ -333,6 +356,8 @@ def _cmd_campaign(args) -> int:
         seed=args.seed, fused_window=not args.no_fused_window,
         batch_decision=not args.no_batch_decision,
         segment_cache=not args.no_segment_cache,
+        walk_dedup=not args.no_walk_dedup,
+        approx_table_walk=args.approx_table_walk,
     )
     print(
         f"Campaign: {args.chips} chips x {args.years} years x "
@@ -420,6 +445,8 @@ def _cmd_sweep(args) -> int:
         fused_window=not args.no_fused_window,
         batch_decision=not args.no_batch_decision,
         segment_cache=not args.no_segment_cache,
+        walk_dedup=not args.no_walk_dedup,
+        approx_table_walk=args.approx_table_walk,
     )
     print(
         f"Sweeping dark floors {args.fractions} over {args.chips} chips..."
@@ -474,6 +501,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sim.window import configure_segment_cache
 
         configure_segment_cache(enabled=False)
+    if getattr(args, "no_walk_dedup", False):
+        from repro.aging.walk import configure_walk_engine
+
+        configure_walk_engine(dedup=False)
     handlers = {
         "chip": _cmd_chip,
         "simulate": _cmd_simulate,

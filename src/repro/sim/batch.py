@@ -48,6 +48,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aging.health import advance_batch
+from repro.aging.walk import walk_options
 from repro.dtm.policy import DTMPolicy
 from repro.noc.metrics import evaluate_mapping
 from repro.obs import get_registry
@@ -199,14 +200,17 @@ class BatchLifetimeSimulator:
             lanes.append(lane)
         obs.inc("sim.batched_chips", len(lanes))
 
-        for epoch in range(cfg.num_epochs):
-            with obs.timer(
-                "sim.batch_epoch",
-                epoch=epoch,
-                chips=len(lanes),
-                policy=policy.name,
-            ):
-                self._run_batch_epoch(lanes, policy, epoch, obs)
+        with walk_options(
+            dedup=cfg.walk_dedup, approx_tol=cfg.approx_table_walk
+        ):
+            for epoch in range(cfg.num_epochs):
+                with obs.timer(
+                    "sim.batch_epoch",
+                    epoch=epoch,
+                    chips=len(lanes),
+                    policy=policy.name,
+                ):
+                    self._run_batch_epoch(lanes, policy, epoch, obs)
         return [lane.result for lane in lanes]
 
     # ------------------------------------------------------------------

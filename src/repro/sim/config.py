@@ -62,6 +62,20 @@ class SimulationConfig:
         content-keyed cache (:mod:`repro.sim.window`).  Results are
         bit-identical either way; ``False`` (CLI ``--no-segment-cache``)
         recompiles every segment.
+    walk_dedup:
+        Route aging-table walks through the deduplicating, delta-aware
+        walk engine (:mod:`repro.aging.walk`).  Results are
+        bit-identical either way; ``False`` (CLI ``--no-walk-dedup``)
+        calls :meth:`repro.aging.tables.AgingTable.next_health`
+        directly.
+    approx_table_walk:
+        Opt-in approximate walk mode: snap predicted temperatures to
+        this tolerance (kelvin) before keying and walking the aging
+        table, raising dedup/memo hit rates at a health error bounded
+        by the table's worst temperature slope times half the
+        tolerance.  ``None`` (the default) keeps the walk exact; has no
+        effect when ``walk_dedup`` is off (the snap lives in the
+        engine).
     """
 
     lifetime_years: float = 10.0
@@ -77,6 +91,8 @@ class SimulationConfig:
     fused_window: bool = True
     batch_decision: bool = True
     segment_cache: bool = True
+    walk_dedup: bool = True
+    approx_table_walk: float | None = None
 
     def __post_init__(self) -> None:
         check_positive("lifetime_years", self.lifetime_years)
@@ -93,6 +109,8 @@ class SimulationConfig:
             raise ValueError("duty_scale must lie in (0, 1]")
         if not 0.0 <= self.settle_duty_fraction <= 1.0:
             raise ValueError("settle_duty_fraction must lie in [0, 1]")
+        if self.approx_table_walk is not None:
+            check_positive("approx_table_walk", self.approx_table_walk)
 
     @property
     def num_epochs(self) -> int:

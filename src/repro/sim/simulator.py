@@ -12,6 +12,7 @@ import heapq
 
 import numpy as np
 
+from repro.aging.walk import walk_options
 from repro.dtm.policy import DTMPolicy
 from repro.mapping.state import ChipState
 from repro.noc.metrics import evaluate_mapping
@@ -84,17 +85,22 @@ class LifetimeSimulator:
         factory = SeedSequenceFactory(cfg.seed).child("mix", ctx.chip_seed_token())
         num_threads = max(1, int(round(ctx.max_on_cores * cfg.load_factor)))
 
-        for epoch in range(cfg.num_epochs):
-            mix = self._mix_factory(epoch, num_threads, factory.rng("epoch", epoch))
-            arrivals = None
-            if self._arrivals_factory is not None:
-                arrivals = self._arrivals_factory(
-                    epoch, cfg.window_s, factory.rng("arrivals", epoch)
+        with walk_options(
+            dedup=cfg.walk_dedup, approx_tol=cfg.approx_table_walk
+        ):
+            for epoch in range(cfg.num_epochs):
+                mix = self._mix_factory(
+                    epoch, num_threads, factory.rng("epoch", epoch)
                 )
-            record = self._run_epoch(ctx, policy, mix, epoch, arrivals)
-            result.epochs.append(record)
-            if self._epoch_callback is not None:
-                self._epoch_callback(record)
+                arrivals = None
+                if self._arrivals_factory is not None:
+                    arrivals = self._arrivals_factory(
+                        epoch, cfg.window_s, factory.rng("arrivals", epoch)
+                    )
+                record = self._run_epoch(ctx, policy, mix, epoch, arrivals)
+                result.epochs.append(record)
+                if self._epoch_callback is not None:
+                    self._epoch_callback(record)
         return result
 
     # ------------------------------------------------------------------

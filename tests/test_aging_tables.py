@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.aging import AgingTable, CoreAgingEstimator
+from repro.aging.tables import build_aging_table
 
 
 class TestForwardLookup:
@@ -214,3 +215,80 @@ class TestBracketedInverse:
         ages = aging_table.equivalent_age(temp, duty, health) + 0.5
         read = aging_table.health(temp, duty, ages)
         np.testing.assert_array_equal(walked, np.minimum(read, health))
+
+
+class TestVectorizedBuild:
+    """``build_aging_table``'s broadcast grid evaluation must be
+    bit-identical to the scalar triple loop it replaced, and subclasses
+    that override the scalar evaluation must still get the loop."""
+
+    GRIDS = dict(
+        temp_grid_k=np.array([300.0, 340.0, 371.5, 420.0]),
+        duty_grid=np.array([0.0, 0.05, 0.3, 1.0]),
+        age_grid_years=np.array([0.0, 0.1, 1.7, 8.0, 30.0]),
+    )
+
+    def _loop_reference(self, estimator, temps, duties, years):
+        values = np.empty((len(temps), len(duties), len(years)))
+        for i, temp in enumerate(temps):
+            for j, duty in enumerate(duties):
+                for k, age in enumerate(years):
+                    values[i, j, k] = estimator.relative_fmax(temp, duty, age)
+        return values
+
+    def test_bit_identical_to_scalar_loop(self):
+        est = CoreAgingEstimator()
+        table = build_aging_table(est, **self.GRIDS)
+        ref = self._loop_reference(
+            est,
+            self.GRIDS["temp_grid_k"],
+            self.GRIDS["duty_grid"],
+            self.GRIDS["age_grid_years"],
+        )
+        np.testing.assert_array_equal(table.values, ref)
+        # Year zero is pristine by definition on both paths.
+        np.testing.assert_array_equal(table.values[:, :, 0], 1.0)
+
+    def test_default_estimator_and_grids(self):
+        """The no-argument build (what ``default_aging_table`` runs)
+        takes the broadcast path and still matches the loop."""
+        table = build_aging_table()
+        est = CoreAgingEstimator()
+        # Spot-check a scattering of grid points against the scalar
+        # estimator — full-grid loop comparison lives in the small-grid
+        # test above; here 60 points pin the default-grid wiring.
+        rng = np.random.default_rng(5)
+        for _ in range(60):
+            i = rng.integers(0, table.temp_grid_k.size)
+            j = rng.integers(0, table.duty_grid.size)
+            k = rng.integers(0, table.age_grid_years.size)
+            assert table.values[i, j, k] == est.relative_fmax(
+                float(table.temp_grid_k[i]),
+                float(table.duty_grid[j]),
+                float(table.age_grid_years[k]),
+            )
+
+    def test_subclass_override_falls_back_to_loop(self):
+        calls = []
+
+        class Faulty(CoreAgingEstimator):
+            def relative_fmax(self, temp_k, core_duty, years):
+                calls.append((temp_k, core_duty, years))
+                if years == 0.0:
+                    return 1.0
+                return max(
+                    super().relative_fmax(temp_k, core_duty, years) - 0.01,
+                    1e-3,
+                )
+
+        est = Faulty()
+        table = build_aging_table(est, **self.GRIDS)
+        n_points = 4 * 4 * 5
+        assert len(calls) == n_points  # every grid point hit the override
+        ref = self._loop_reference(
+            est,
+            self.GRIDS["temp_grid_k"],
+            self.GRIDS["duty_grid"],
+            self.GRIDS["age_grid_years"],
+        )
+        np.testing.assert_array_equal(table.values, ref)
