@@ -44,10 +44,17 @@ from benchmarks.conftest import multicore_perf
 PHASE_TIMERS = (
     "sim.decision",
     "sim.batch_decision",
+    "sim.delta_eval",
+    "sim.delta_eval@sim.decision",
+    "sim.delta_eval@sim.batch_decision",
     "sim.settle",
     "sim.window",
     "sim.aging",
     "aging.walk",
+    "aging.walk@sim.decision",
+    "aging.walk@sim.batch_decision",
+    "aging.walk@sim.aging",
+    "aging.walk@sim.settle",
 )
 
 ROUNDS = 3
@@ -110,10 +117,18 @@ def _bench_policy(policy, batch_pieces, benchmark):
     benchmark.extra_info["decision_batched_lanes"] = snapshot.counters.get(
         "sim.decision_batched_lanes", 0
     )
-    for counter in ("walk_unique", "walk_dedup_hits", "walk_delta_hits"):
+    for counter in (
+        "walk_unique",
+        "walk_dedup_hits",
+        "walk_delta_hits",
+        "walk_bracket_reuse",
+    ):
         benchmark.extra_info[counter] = snapshot.counters.get(
             f"aging.{counter}", 0
         )
+    benchmark.extra_info["delta_rounds"] = snapshot.counters.get(
+        "sim.delta_rounds", 0
+    )
 
     benchmark.extra_info["chips"] = BATCH_CHIPS
     benchmark.extra_info["per_chip_min_ms"] = base_min * 1e3

@@ -1,0 +1,133 @@
+"""Approximate table walk: the campaign-level accuracy/speed trade.
+
+``--approx-table-walk TOL`` snaps predicted temperatures to a TOL-kelvin
+grid before the aging-table walk, trading bounded health error for
+dedup/memo hit rate (`repro.aging.walk`).  The per-call error bound is
+documented and tested; this study asks the question a user actually
+faces: over a *whole campaign* — where snapped walks feed mapping
+decisions that feed the next epoch's temperatures — how much end-of-life
+metric drift does each tolerance buy, and how much wall-clock does it
+return?
+
+Sweeps a tolerance lattice over a small Hayat campaign — under both the
+delta-candidate engine (the default) and the dense path
+(``delta_candidates=False``), because the two interact: the delta
+engine's seeded candidate walks bypass the dedup/memo layers the snap
+exists to feed, so approx mode's payoff largely belongs to the dense
+path.  Tabulates, per (tolerance, engine): campaign wall time, walk
+dedup/memo hit fraction, and the worst end-of-life deviations from the
+same engine's exact run (per-core health, chip average fmax).
+
+Run:  python examples/approx_walk_tradeoff.py          (~2-4 minutes)
+      REPRO_SWEEP_CHIPS=2 python examples/approx_walk_tradeoff.py
+"""
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+
+from repro import HayatManager, SimulationConfig, run_campaign
+from repro.aging.tables import default_aging_table
+from repro.analysis import format_table
+from repro.core.delta_eval import delta_options
+from repro.obs import MetricsRegistry, use_registry
+from repro.variation import generate_population
+
+#: None = exact walk; the rest snap temperatures to this many kelvin.
+TOLERANCES_K = [None, 0.1, 0.5, 1.0, 2.0]
+NUM_CHIPS = int(os.environ.get("REPRO_SWEEP_CHIPS", "4"))
+
+
+def run_at(tol, delta, config, population, table):
+    cfg = dataclasses.replace(
+        config, approx_table_walk=tol, delta_candidates=delta
+    )
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    # min_dense_rows=0 forces engaged rounds onto the delta path: the
+    # small sequential campaigns here sit below the default cost gate,
+    # and the study's point is the delta-engine x approx interaction.
+    with use_registry(registry), delta_options(min_dense_rows=0):
+        campaign = run_campaign(
+            [HayatManager()], config=cfg, population=population, table=table
+        )
+    elapsed = time.perf_counter() - start
+    counters = registry.snapshot().counters
+    walked = counters.get("aging.walk_unique", 0)
+    reused = counters.get("aging.walk_dedup_hits", 0) + counters.get(
+        "aging.walk_delta_hits", 0
+    )
+    hit_rate = reused / (walked + reused) if walked + reused else 0.0
+    return campaign.results["hayat"], elapsed, hit_rate
+
+
+def main() -> None:
+    config = SimulationConfig(
+        lifetime_years=10.0, epoch_years=0.5, window_s=10.0, seed=5
+    )
+    population = generate_population(NUM_CHIPS, seed=11)
+    table = default_aging_table()
+
+    rows = []
+    for delta in (True, False):
+        engine = "delta" if delta else "dense"
+        exact_results, exact_s, exact_hits = run_at(
+            None, delta, config, population, table
+        )
+        exact_health = [r.epochs[-1].health_after for r in exact_results]
+        exact_fmax = [
+            r.avg_fmax_trajectory_ghz()[-1] for r in exact_results
+        ]
+        for tol in TOLERANCES_K:
+            if tol is None:
+                results, elapsed, hits = exact_results, exact_s, exact_hits
+            else:
+                results, elapsed, hits = run_at(
+                    tol, delta, config, population, table
+                )
+            dh = max(
+                float(np.max(np.abs(r.epochs[-1].health_after - eh)))
+                for r, eh in zip(results, exact_health)
+            )
+            df = max(
+                abs(r.avg_fmax_trajectory_ghz()[-1] - ef)
+                for r, ef in zip(results, exact_fmax)
+            )
+            rows.append(
+                [
+                    "exact" if tol is None else f"{tol:.1f} K",
+                    engine,
+                    f"{elapsed:.1f} s",
+                    f"{exact_s / elapsed:.2f}x",
+                    f"{100 * hits:.1f} %",
+                    f"{dh:.2e}" if tol is not None else "-",
+                    f"{df * 1e3:.2f} MHz" if tol is not None else "-",
+                ]
+            )
+            print(f"  finished {engine} / tolerance {rows[-1][0]}")
+
+    print()
+    print(
+        format_table(
+            [
+                "walk tolerance",
+                "candidates",
+                "campaign time",
+                "speedup",
+                "walk reuse",
+                "max |d health| (EOL)",
+                "max |d avg-fmax| (EOL)",
+            ],
+            rows,
+            title=(
+                f"Approximate-walk trade-off, {NUM_CHIPS} chips, "
+                "10-year Hayat campaigns (each vs its engine's exact walk)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

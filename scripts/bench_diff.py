@@ -63,8 +63,52 @@ def diff_stats(fresh: dict, committed: dict, threshold: float) -> list[dict]:
     return rows
 
 
+#: Phases whose committed total is below this are skipped by the phase
+#: diff: a sub-millisecond phase doubling is timer noise, not a signal.
+PHASE_FLOOR_MS = 1.0
+
+
+def _phases_of(stats: dict) -> dict:
+    """The ``phases_ms`` map a test recorded, or an empty dict."""
+    return (stats.get("extra_info") or {}).get("phases_ms") or {}
+
+
+def diff_phases(fresh: dict, committed: dict, threshold: float) -> list[dict]:
+    """Per-phase comparison rows across common tests, slowest first.
+
+    Compares the ``phases_ms`` maps the bench suites record under
+    ``extra_info`` (``sim.decision``, ``aging.walk``, the attributed
+    ``aging.walk@<parent>`` splits, ...), so a regression can be
+    localized to the phase that moved instead of just the test total.
+    """
+    rows = []
+    for name in sorted(set(fresh) & set(committed)):
+        f_phases = _phases_of(fresh[name])
+        c_phases = _phases_of(committed[name])
+        for phase in sorted(set(f_phases) & set(c_phases)):
+            c_ms, f_ms = c_phases[phase], f_phases[phase]
+            if c_ms < PHASE_FLOOR_MS or f_ms <= 0:
+                continue
+            rows.append(
+                {
+                    "name": name,
+                    "phase": phase,
+                    "committed_ms": c_ms,
+                    "fresh_ms": f_ms,
+                    "ratio": f_ms / c_ms,
+                    "regressed": f_ms / c_ms > threshold,
+                }
+            )
+    rows.sort(key=lambda row: row["ratio"], reverse=True)
+    return rows
+
+
 def render_markdown(
-    rows: list[dict], committed_name: str, threshold: float
+    rows: list[dict],
+    committed_name: str,
+    threshold: float,
+    phase_rows: list[dict] | None = None,
+    phase_threshold: float = 1.10,
 ) -> str:
     lines = [
         "# Bench diff vs committed baseline",
@@ -94,6 +138,34 @@ def render_markdown(
         if flagged
         else f"All {len(rows)} benchmark(s) within the threshold."
     )
+    if phase_rows:
+        lines += [
+            "",
+            "## Per-phase timings",
+            "",
+            f"Engine-phase totals from the instrumented run; flagging "
+            f"ratios above {phase_threshold:.2f}x (phases under "
+            f"{PHASE_FLOOR_MS:.0f} ms committed are skipped as noise).",
+            "",
+            "| benchmark | phase | committed (ms) | fresh (ms) | ratio | |",
+            "|---|---|---:|---:|---:|---|",
+        ]
+        for row in phase_rows:
+            flag = "**regression?**" if row["regressed"] else ""
+            lines.append(
+                f"| {row['name']} | {row['phase']} | "
+                f"{row['committed_ms']:.1f} | {row['fresh_ms']:.1f} | "
+                f"{row['ratio']:.2f}x | {flag} |"
+            )
+        p_flagged = [row for row in phase_rows if row["regressed"]]
+        lines.append("")
+        lines.append(
+            f"{len(p_flagged)} of {len(phase_rows)} phase timing(s) "
+            "exceeded the threshold."
+            if p_flagged
+            else f"All {len(phase_rows)} phase timing(s) within the "
+            "threshold."
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -106,6 +178,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--output", default="bench_regression.md")
     parser.add_argument("--threshold", type=float, default=1.15)
+    parser.add_argument(
+        "--phase-threshold",
+        type=float,
+        default=1.10,
+        help="flag per-phase timing ratios above this (default 1.10)",
+    )
     args = parser.parse_args(argv)
 
     committed_path = args.committed or latest_committed()
@@ -116,8 +194,13 @@ def main(argv: list[str] | None = None) -> int:
         fresh = _load_stats(args.fresh)
         committed = _load_stats(committed_path)
         rows = diff_stats(fresh, committed, args.threshold)
+        phase_rows = diff_phases(fresh, committed, args.phase_threshold)
         summary = render_markdown(
-            rows, os.path.basename(committed_path), args.threshold
+            rows,
+            os.path.basename(committed_path),
+            args.threshold,
+            phase_rows=phase_rows,
+            phase_threshold=args.phase_threshold,
         )
     with open(args.output, "w") as handle:
         handle.write(summary)

@@ -36,9 +36,13 @@ DEFAULT_SUITE = os.path.join("benchmarks", "test_perf_simulator.py")
 #: and reported with an explicit ``nested_in``/``share_of_parent``
 #: instead of a misleading top-level share.  ``None`` marks a timer
 #: whose spans fall under several phases (e.g. the aging-table walk
-#: runs inside both the decision and the aging phases).
+#: runs inside both the decision and the aging phases); for those, the
+#: registry's attributed ``name@parent`` aggregates (see
+#: ``repro.obs.core.ATTRIBUTED_TIMERS``) supply the per-parent split,
+#: recorded as a ``parents`` map on the breakdown entry.
 NESTED_TIMERS = {
     "sim.batch_decision": "sim.decision",
+    "sim.delta_eval": None,
     "aging.walk": None,
 }
 
@@ -58,12 +62,19 @@ def _distill(raw: dict) -> dict:
             entry["extra_info"] = bench["extra_info"]
             phases = bench["extra_info"].get("phases_ms")
             if phases:
+                # ``name@parent`` entries are per-parent attribution
+                # aggregates, not phases of their own — they feed the
+                # ``parents`` maps below and never the top-level total.
                 top = {
-                    k: v for k, v in phases.items() if k not in NESTED_TIMERS
+                    k: v
+                    for k, v in phases.items()
+                    if k not in NESTED_TIMERS and "@" not in k
                 }
                 top_total = sum(top.values())
                 breakdown = {}
                 for name, ms in phases.items():
+                    if "@" in name:
+                        continue
                     if name not in NESTED_TIMERS:
                         breakdown[name] = {
                             "total_ms": ms,
@@ -71,13 +82,28 @@ def _distill(raw: dict) -> dict:
                         }
                         continue
                     parent = NESTED_TIMERS[name]
-                    nested = {
-                        "total_ms": ms,
-                        "nested_in": parent or "multiple phases",
-                    }
-                    parent_ms = phases.get(parent, 0.0) if parent else 0.0
-                    if parent_ms:
-                        nested["share_of_parent"] = ms / parent_ms
+                    nested = {"total_ms": ms}
+                    if parent is not None:
+                        nested["nested_in"] = parent
+                        parent_ms = phases.get(parent, 0.0)
+                        if parent_ms:
+                            nested["share_of_parent"] = ms / parent_ms
+                    else:
+                        prefix = f"{name}@"
+                        parents = {}
+                        for qname, qms in phases.items():
+                            if not qname.startswith(prefix):
+                                continue
+                            pname = qname[len(prefix):]
+                            pentry = {"total_ms": qms}
+                            parent_ms = phases.get(pname, 0.0)
+                            if parent_ms:
+                                pentry["share_of_parent"] = qms / parent_ms
+                            parents[pname] = pentry
+                        if parents:
+                            nested["parents"] = parents
+                        else:
+                            nested["nested_in"] = "multiple phases"
                     breakdown[name] = nested
                 entry["phase_breakdown"] = breakdown if top_total else {}
         out[bench["name"]] = entry

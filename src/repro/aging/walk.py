@@ -80,6 +80,7 @@ __all__ = [
     "configure_walk_engine",
     "current_walk_options",
     "get_walk_engine",
+    "walk_crossing_counts",
     "walk_next_health",
     "walk_options",
 ]
@@ -103,6 +104,21 @@ _EMA_KEEP = 0.8
 #: batch is duplicated — below it, the gather/scatter costs more than
 #: the walks it saves.
 _MIN_DUP_SHIFT = 3  # duplicates >= n >> 3, i.e. 12.5%
+
+#: Batches below this many elements skip the dedup/memo probe layers
+#: entirely: the sort probe and memo hashing cost a fixed few
+#: microseconds that a tiny batch's walk cannot amortize (BENCH_PR8
+#: measured the layers at ~10% on the per-chip path, whose batches
+#: are mostly one chip's core count).  Bit-identity is unaffected —
+#: the probes only ever route work, never change results.
+_PROBE_FLOOR = 128
+
+#: After the reuse-EMA gate has deactivated the memo, only every
+#: ``_PROBE_HOLDOFF + 1``-th call pays the dedup sort probe; the probe
+#: that does run still observes the duplicate fraction, so a workload
+#: that turns redundant (e.g. approx mode switching on) re-raises the
+#: EMA and reactivates the layers within a probing call.
+_PROBE_HOLDOFF = 15
 
 
 @dataclass(frozen=True)
@@ -289,12 +305,15 @@ class WalkEngine:
         self._shift_cache: dict[str, tuple] = {}
         self._calls = 0
         self._reuse_ema = 0.0
+        self._probe_holdoff = 0
+        self._last_delta_hits = 0
 
     # ------------------------------------------------------------------
     # public entry
     # ------------------------------------------------------------------
     def next_health(
-        self, temp_k, duty, current_health, epoch_years, approx_tol=None
+        self, temp_k, duty, current_health, epoch_years, approx_tol=None,
+        seed_counts=None,
     ) -> np.ndarray:
         """Engine-routed :meth:`AgingTable.next_health`.
 
@@ -305,6 +324,14 @@ class WalkEngine:
         keying and walking*, so the memoized value and the walked value
         of a snapped input always agree; the health error is bounded by
         the table's worst temperature slope times ``tol/2``.
+
+        ``seed_counts`` (same shape as the batch) warm-starts the
+        inverse lookup with guessed age-bracket crossing counts — the
+        delta-candidate engine passes each lane's base-row counts
+        (:meth:`crossing_counts`).  Seeds are verified per element and
+        change no bits (see :meth:`AgingTable._ages_seeded`); seeded
+        batches skip the dedup/memo probes, whose bit-exact keying
+        cannot fire on the perturbed temperatures the seeds exist for.
         """
         if epoch_years < 0:
             raise ValueError("epoch_years must be non-negative")
@@ -330,8 +357,80 @@ class WalkEngine:
                 # the true temperature, and every element within the
                 # same tol bucket now shares identical bits.
                 t = np.round(t / approx_tol) * approx_tol
-            out = self._walk_deduped(t, d, h, epoch_years, obs)
+            if seed_counts is not None and self.table._age_monotone:
+                seeds = np.asarray(seed_counts, dtype=np.intp)
+                if seeds.size != t.size:
+                    raise ValueError(
+                        "seed_counts must match the batch element count"
+                    )
+                out = self._walk_seeded(
+                    t, d, h, epoch_years, seeds.reshape(-1), obs
+                )
+            else:
+                out = self._walk_deduped(t, d, h, epoch_years, obs)
         return out.reshape(shape)
+
+    def crossing_counts(self, temp_k, duty, current_health):
+        """Age-bracket crossing counts of a base row, for seeding.
+
+        Returns the exact per-element count
+        :meth:`AgingTable._crossing_counts` computes for these inputs
+        (shape preserved), or ``None`` for non-monotone tables, whose
+        inverse has no count structure to seed.  The counts feed
+        :meth:`next_health` ``seed_counts`` for candidate batches whose
+        temperatures are small perturbations of this base row.
+        """
+        table = self.table
+        if not table._age_monotone:
+            return None
+        temp_b = np.atleast_1d(np.asarray(temp_k, dtype=float))
+        duty_b = np.atleast_1d(np.asarray(duty, dtype=float))
+        if temp_b.shape != duty_b.shape:
+            temp_b, duty_b = np.broadcast_arrays(temp_b, duty_b)
+        health = np.atleast_1d(np.asarray(current_health, dtype=float))
+        if health.shape != temp_b.shape:
+            health = np.broadcast_to(health, temp_b.shape)
+        shape = temp_b.shape
+        t = np.ascontiguousarray(temp_b, dtype=float).reshape(-1)
+        d = np.ascontiguousarray(duty_b, dtype=float).reshape(-1)
+        h = np.ascontiguousarray(health, dtype=float).reshape(-1)
+        if t.size == 0:
+            return np.empty(shape, dtype=np.intp)
+        it, ft = _axis_weights(table.temp_grid_k, t, table._temp_spans)
+        idx_d, fd = _axis_weights(table.duty_grid, d, table._duty_spans)
+        weights = table._corner_weights(ft, fd)
+        rows, bases = table._corner_rows(it, idx_d)
+        count = table._crossing_counts(h, weights, rows, bases)
+        return count.reshape(shape)
+
+    def _walk_seeded(self, t, d, h, epoch_years, seeds, obs) -> np.ndarray:
+        """The walk warm-started from guessed crossing counts.
+
+        Structurally :meth:`_walk_core` with the inverse lookup replaced
+        by the verify-or-relocate seeded form — bit-identical for any
+        seeds (:meth:`AgingTable._ages_seeded`).  Skips the shared-bound
+        hoist (the seeded path never computes batch-wide bounds) and
+        counts verified seeds as ``aging.walk_bracket_reuse``.
+        """
+        table = self.table
+        n = t.shape[0]
+        obs.inc("aging.walk_unique", n)
+        it, ft = _axis_weights(table.temp_grid_k, t, table._temp_spans)
+        idx_d, fd = _axis_weights(table.duty_grid, d, table._duty_spans)
+        weights = table._corner_weights(ft, fd)
+        rows, bases = table._corner_rows(it, idx_d)
+        grid_index = np.empty(n, dtype=np.intp)
+        ages, reused = table._ages_seeded(
+            it, ft, idx_d, fd, h, weights, rows, bases, seeds, grid_index
+        )
+        if reused:
+            obs.inc("aging.walk_bracket_reuse", reused)
+        ages += epoch_years
+        iy, fy = self._located_shift(ages, grid_index, epoch_years)
+        new_health = table._health_located(
+            it, ft, idx_d, fd, iy, fy, weights, bases[0]
+        )
+        return np.minimum(new_health, h)
 
     # ------------------------------------------------------------------
     # layer 1: bit-exact intra-batch dedup
@@ -349,6 +448,19 @@ class WalkEngine:
         sequence from the same input bits.
         """
         n = t.shape[0]
+        # Probe bypass: tiny batches can't amortize the sort/hash probes
+        # (fixed microseconds vs a short walk), and once the reuse EMA
+        # has self-deactivated the memo, most calls skip the probe too —
+        # every ``_PROBE_HOLDOFF + 1``-th call still probes so a
+        # workload that turns redundant is noticed and reactivates the
+        # layers.  Bypassed calls walk everything; results identical.
+        if n < _PROBE_FLOOR:
+            obs.inc("aging.walk_unique", n)
+            return self._walk_core(t, d, h, epoch_years)
+        if self._probe_holdoff > 0:
+            self._probe_holdoff -= 1
+            obs.inc("aging.walk_unique", n)
+            return self._walk_core(t, d, h, epoch_years)
         t_bits = t.view(np.uint64)
         d_bits = d.view(np.uint64)
         h_bits = h.view(np.uint64)
@@ -388,6 +500,9 @@ class WalkEngine:
         self._reuse_ema = (
             _EMA_KEEP * self._reuse_ema + (1.0 - _EMA_KEEP) * fraction
         )
+        if self._calls >= _WARMUP_CALLS and self._reuse_ema <= _REUSE_FLOOR:
+            # Memo gate is off: hold the probes off for a stretch too.
+            self._probe_holdoff = _PROBE_HOLDOFF
 
     # ------------------------------------------------------------------
     # layer 2: delta-aware cross-call memo
@@ -572,7 +687,9 @@ def get_walk_engine(table: AgingTable) -> WalkEngine:
     return engine
 
 
-def walk_next_health(table, temp_k, duty, current_health, epoch_years) -> np.ndarray:
+def walk_next_health(
+    table, temp_k, duty, current_health, epoch_years, seed_counts=None
+) -> np.ndarray:
     """:meth:`AgingTable.next_health` routed through the walk engine.
 
     The single entry point the estimation layers call: honors the
@@ -580,11 +697,28 @@ def walk_next_health(table, temp_k, duty, current_health, epoch_years) -> np.nda
     ``--no-walk-dedup`` escape hatch) goes straight to the table method,
     bypassing the engine (including any approximate mode, which lives in
     the engine's keying); otherwise the engine walks with the options'
-    tolerance.
+    tolerance.  ``seed_counts`` (from :func:`walk_crossing_counts`)
+    warm-starts the inverse lookup; it is verified per element, changes
+    no bits, and is ignored when the engine is bypassed.
     """
     opts = current_walk_options()
     if not opts.dedup:
         return table.next_health(temp_k, duty, current_health, epoch_years)
     return get_walk_engine(table).next_health(
-        temp_k, duty, current_health, epoch_years, approx_tol=opts.approx_tol
+        temp_k, duty, current_health, epoch_years, approx_tol=opts.approx_tol,
+        seed_counts=seed_counts,
     )
+
+
+def walk_crossing_counts(table, temp_k, duty, current_health):
+    """Base-row age-bracket crossing counts for seeding later walks.
+
+    Returns ``None`` when the engine is bypassed (``dedup=False``) or
+    the table is non-monotone — callers simply skip seeding then.  The
+    counts are exact for these inputs; a candidate whose temperature
+    perturbation moves its bracket is detected and relocated during the
+    seeded walk, so stale counts cost a fallback, never a wrong answer.
+    """
+    if not current_walk_options().dedup:
+        return None
+    return get_walk_engine(table).crossing_counts(temp_k, duty, current_health)

@@ -108,6 +108,17 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
             "exact walks)"
         ),
     )
+    parser.add_argument(
+        "--no-delta-candidates",
+        action="store_true",
+        help=(
+            "evaluate every mapping candidate with the dense thermal "
+            "predictor and unseeded table walks instead of the "
+            "incremental delta engine (restores pre-delta behavior "
+            "exactly; the delta default deviates by at most millikelvin "
+            "temperatures)"
+        ),
+    )
 
 
 def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
@@ -316,6 +327,7 @@ def _cmd_simulate(args) -> int:
         segment_cache=not args.no_segment_cache,
         walk_dedup=not args.no_walk_dedup,
         approx_table_walk=args.approx_table_walk,
+        delta_candidates=not args.no_delta_candidates,
     )
     policy = POLICIES[args.policy]()
     print(f"Simulating {chip.chip_id} under {policy.name} for {args.years} years...")
@@ -358,6 +370,7 @@ def _cmd_campaign(args) -> int:
         segment_cache=not args.no_segment_cache,
         walk_dedup=not args.no_walk_dedup,
         approx_table_walk=args.approx_table_walk,
+        delta_candidates=not args.no_delta_candidates,
     )
     print(
         f"Campaign: {args.chips} chips x {args.years} years x "
@@ -447,6 +460,7 @@ def _cmd_sweep(args) -> int:
         segment_cache=not args.no_segment_cache,
         walk_dedup=not args.no_walk_dedup,
         approx_table_walk=args.approx_table_walk,
+        delta_candidates=not args.no_delta_candidates,
     )
     print(
         f"Sweeping dark floors {args.fractions} over {args.chips} chips..."
@@ -505,6 +519,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.aging.walk import configure_walk_engine
 
         configure_walk_engine(dedup=False)
+    if getattr(args, "no_delta_candidates", False):
+        from repro.core.delta_eval import configure_delta_eval
+
+        configure_delta_eval(enabled=False)
     handlers = {
         "chip": _cmd_chip,
         "simulate": _cmd_simulate,

@@ -91,18 +91,20 @@ def temperature_optimized_dcm(
     n = floorplan.num_cores
     if influence.shape != (n, n):
         raise ValueError("influence matrix must be (num_cores, num_cores)")
+    # Column c of ``contrib`` is candidate c's thermal fingerprint;
+    # scoring all columns and selecting afterwards beats re-gathering
+    # the candidate columns every iteration.
+    contrib = influence * core_power_w
     on = np.zeros(n, dtype=bool)
     rise = np.zeros(n)
     for _ in range(num_on):
         candidates = np.flatnonzero(~on)
         # Peak rise if candidate c joins: max over nodes of current rise
         # plus c's column fingerprint.
-        peak_after = (rise[:, None] + influence[:, candidates] * core_power_w).max(
-            axis=0
-        )
-        best = candidates[int(np.argmin(peak_after))]
+        peak_after = (rise[:, None] + contrib).max(axis=0)
+        best = candidates[int(np.argmin(peak_after[candidates]))]
         on[best] = True
-        rise = rise + influence[:, best] * core_power_w
+        rise = rise + contrib[:, best]
     return DarkCoreMap(on)
 
 
@@ -177,16 +179,18 @@ def variation_aware_dcm(
     # minimal swaps below.  A base that reshuffled whenever a mask bit
     # flipped would rotate wear across the die — expensive under the
     # concave y^(1/6) aging law.
+    # Column c of ``contrib`` is candidate c's thermal fingerprint
+    # (power-weighted influence); scoring all columns and selecting
+    # afterwards beats re-gathering candidate columns every iteration.
+    contrib = influence * power[None, :]
     on = np.zeros(n, dtype=bool)
     rise = np.zeros(n)
     for _ in range(num_on):
         candidates = np.flatnonzero(~on)
-        peak_after = (
-            rise[:, None] + influence[:, candidates] * power[candidates]
-        ).max(axis=0)
-        best = candidates[int(np.argmin(peak_after))]
+        peak_after = (rise[:, None] + contrib).max(axis=0)
+        best = candidates[int(np.argmin(peak_after[candidates]))]
         on[best] = True
-        rise = rise + influence[:, best] * power[best]
+        rise = rise + contrib[:, best]
 
     # Minimal variation-aware amendment: swap each blocked-but-selected
     # core for the thermally best acceptable dark core, one at a time.
@@ -195,13 +199,11 @@ def variation_aware_dcm(
         if candidates.size == 0:
             break
         on[bad] = False
-        rise = rise - influence[:, bad] * power[bad]
-        peak_after = (
-            rise[:, None] + influence[:, candidates] * power[candidates]
-        ).max(axis=0)
-        best = candidates[int(np.argmin(peak_after))]
+        rise = rise - contrib[:, bad]
+        peak_after = (rise[:, None] + contrib).max(axis=0)
+        best = candidates[int(np.argmin(peak_after[candidates]))]
         on[best] = True
-        rise = rise + influence[:, best] * power[best]
+        rise = rise + contrib[:, best]
 
     # Wear-leveling with hysteresis: retire the most-worn selected core
     # only when the in-set health spread is large.

@@ -23,9 +23,12 @@ from bisect import insort
 
 import numpy as np
 
+from repro.core.delta_eval import DeltaEvaluator, current_delta_options
 from repro.core.estimation import OnlineHealthEstimator
 from repro.core.weighting import WeightingFunction
 from repro.mapping.state import ChipState
+from repro.obs import get_registry
+from repro.thermal.predictor import ThermalPredictor
 from repro.util.constants import T_SAFE_KELVIN
 
 
@@ -134,14 +137,33 @@ class HayatMapper:
         unmapped: list[int] = []
         comm = self._comm_state(state) if self.comm_weight > 0 else None
 
+        # Delta-candidate engagement: requires plain predictor/estimator
+        # semantics (subclasses fall back to the dense path they
+        # define) and the process/context option.  The evaluator solves
+        # the incumbent placement once per round and reconstructs each
+        # candidate's temperatures from its rank-1 power change; the
+        # base row's crossing counts seed the aging-table walk.
+        opts = current_delta_options()
+        evaluator = (
+            DeltaEvaluator(self.estimator.predictor)
+            if opts.enabled
+            and type(self.estimator) is OnlineHealthEstimator
+            and type(self.estimator.predictor) is ThermalPredictor
+            else None
+        )
+        obs = get_registry()
+
         # Candidate matrices are built in preallocated (n, n) buffers —
         # each thread's batch fills the leading rows instead of cutting
         # three fresh broadcast copies (values are identical; only the
-        # storage is reused).
+        # storage is reused).  The delta path only ever builds the duty
+        # matrix (the walk needs it); candidate frequency/activity
+        # matrices exist solely to feed the dense predictor.
         freq_buf = np.empty((n, n))
         act_buf = np.empty((n, n))
         duty_buf = np.empty((n, n))
         all_rows = np.arange(n)
+        seed_base = None  # walk seeds, computed on the first delta round
 
         for thread_index in order:
             if state.core_of_thread(thread_index) >= 0:
@@ -160,21 +182,49 @@ class HayatMapper:
                 continue
 
             batch = candidates.size
-            freq_b = freq_buf[:batch]
-            act_b = act_buf[:batch]
             duty_b = duty_buf[:batch]
-            freq_b[:] = freq
-            act_b[:] = activity
             duty_b[:] = duties
             rows = all_rows[:batch]
-            freq_b[rows, candidates] = thread.fmin_ghz
-            act_b[rows, candidates] = thread.mean_activity
             duty_b[rows, candidates] = thread.duty_cycle
-            on_b = np.broadcast_to(powered, (batch, n))
 
-            temps_b = self.estimator.predict_temperature_batch(
-                freq_b, act_b, on_b, current_temps_k=temps
-            )
+            # Cost gate: the delta path's per-round base solve only pays
+            # for itself when the dense work it replaces (batch x n) is
+            # large enough; small rounds stay on the dense kernels.
+            if evaluator is not None and batch * n >= opts.min_dense_rows:
+                with obs.timer("sim.delta_eval"):
+                    base = evaluator.solve_base(
+                        freq, activity, powered, temps
+                    )
+                    new_dyn = self.estimator.predictor.power_model.dynamic.power_w(
+                        thread.fmin_ghz, thread.mean_activity
+                    )
+                    temps_b = evaluator.candidate_temps(
+                        base,
+                        np.zeros(batch, dtype=np.intp),
+                        candidates,
+                        np.full(batch, new_dyn),
+                    )
+                    if seed_base is None:
+                        # Computed once per mapping pass: seeds are
+                        # verified per element, so the later rounds'
+                        # slightly stale counts cost a few relocations,
+                        # not correctness (health_now never changes
+                        # within a pass and temperatures drift slowly).
+                        seed_base = self.estimator.seed_crossing_counts(
+                            base.final[0], duties, health_now
+                        )
+                obs.inc("sim.delta_rounds")
+            else:
+                freq_b = freq_buf[:batch]
+                act_b = act_buf[:batch]
+                freq_b[:] = freq
+                act_b[:] = activity
+                freq_b[rows, candidates] = thread.fmin_ghz
+                act_b[rows, candidates] = thread.mean_activity
+                on_b = np.broadcast_to(powered, (batch, n))
+                temps_b = self.estimator.predict_temperature_batch(
+                    freq_b, act_b, on_b, current_temps_k=temps
+                )
             tmax = temps_b.max(axis=1)
             thermally_ok = tmax <= self.tsafe_k
             if thermally_ok.all():
@@ -192,8 +242,14 @@ class HayatMapper:
                 keep = np.array([int(np.argmin(tmax))])
                 temps_keep, duty_keep = temps_b[keep], duty_b[keep]
 
+            seeds_keep = (
+                np.broadcast_to(seed_base, (len(keep), n))
+                if seed_base is not None
+                else None
+            )
             health_b = self.estimator.estimate_next_health(
-                temps_keep, duty_keep, health_now, epoch_years
+                temps_keep, duty_keep, health_now, epoch_years,
+                seed_counts=seeds_keep,
             )
             kept_cores = candidates[keep]
             h_candidate_next = health_b[all_rows[: len(keep)], kept_cores]

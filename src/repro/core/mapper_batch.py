@@ -50,9 +50,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.delta_eval import DeltaEvaluator, current_delta_options
+from repro.core.estimation import OnlineHealthEstimator
 from repro.core.mapper import HayatMapper
+from repro.core.weighting import WeightingFunction
 from repro.mapping.state import ChipState
 from repro.obs import get_registry
+from repro.thermal.predictor import ThermalPredictor
 
 __all__ = ["MapperLane", "map_threads_batch", "unstackable_reason"]
 
@@ -130,6 +134,7 @@ class _LaneRun:
         "temps", "freq", "activity", "duties", "powered", "assignment",
         "order", "pos", "comm", "unmapped", "leak_scale",
         "thread_index", "thread", "candidates", "keep", "temps_b",
+        "seed_counts",
     )
 
     def __init__(self, lane: MapperLane):
@@ -174,6 +179,7 @@ class _LaneRun:
         )
         self.unmapped: list[int] = []
         self.leak_scale = mapper.estimator.predictor.power_model.leakage_scale
+        self.seed_counts: np.ndarray | None = None
 
     def next_request(self) -> bool:
         """Advance to this lane's next placeable thread.
@@ -255,110 +261,232 @@ def _map_group(runs: list[_LaneRun], epoch_years: float) -> None:
     n = runs[0].n
     est0 = runs[0].mapper.estimator
     predictor0 = est0.predictor
+    # Delta-candidate engagement mirrors the sequential mapper's guard:
+    # plain predictor/estimator semantics only (the group already
+    # shares est0/predictor0 through unstackable_reason).
+    opts = current_delta_options()
+    evaluator = (
+        DeltaEvaluator(predictor0)
+        if opts.enabled
+        and type(est0) is OnlineHealthEstimator
+        and type(predictor0) is ThermalPredictor
+        else None
+    )
+    obs = get_registry()
+    dynamic = predictor0.power_model.dynamic
+    # Eq. 9 can be scored in one cross-lane sweep only when every lane
+    # runs the stock weighting; a subclass keeps the per-lane call so
+    # its override is honoured.
+    batched_scoring = all(
+        type(run.mapper.weighting) is WeightingFunction for run in runs
+    )
 
     active = runs
+    stacked_for: list[_LaneRun] | None = None
     while True:
         active = [run for run in active if run.next_request()]
         if not active:
             return
 
+        if active != stacked_for:
+            # (Re)build the persistent per-lane stacks.  Lanes only
+            # ever leave the group, so this runs once per composition;
+            # the commit loop below keeps the stacks in sync with each
+            # lane's running vectors between rebuilds.
+            lane_idx = np.arange(len(active))
+            freq_l = np.stack([run.freq for run in active])
+            act_l = np.stack([run.activity for run in active])
+            on_l = np.stack([run.powered for run in active])
+            scale_l = np.stack(
+                [
+                    np.broadcast_to(
+                        np.asarray(run.leak_scale, dtype=float), (n,)
+                    )
+                    for run in active
+                ]
+            )
+            duties_l = np.stack([run.duties for run in active])
+            health_l = np.stack([run.health_now for run in active])
+            temps_l = np.stack([run.temps for run in active])
+            fmax_l = np.stack([run.fmax for run in active])
+            tsafe_l = np.array([run.mapper.tsafe_k for run in active])
+            if batched_scoring:
+                coeffs = [
+                    run.mapper.weighting.config.coefficients(run.elapsed)
+                    for run in active
+                ]
+                alpha_l = np.array([a for a, _ in coeffs])
+                beta_l = np.array([b for _, b in coeffs])
+                wmax_l = np.array(
+                    [run.mapper.weighting.config.wmax for run in active]
+                )
+                coeff_l = np.array(
+                    [run.mapper.chip_health_coeff * n for run in active]
+                )
+            stacked_for = active
+
         # Stack every lane's candidate rows into one block.  Each
         # lane's rows carry its own running vectors plus the one-thread
-        # delta — exactly the matrices its solo call would build.
-        total = sum(run.candidates.size for run in active)
-        freq_all = np.empty((total, n))
-        act_all = np.empty((total, n))
-        duty_all = np.empty((total, n))
-        on_all = np.empty((total, n), dtype=bool)
-        temps0_all = np.empty((total, n))
-        scale_all = np.empty((total, n))
-        offsets: list[int] = []
-        off = 0
-        for run in active:
-            batch = run.candidates.size
-            block = slice(off, off + batch)
-            freq_all[block] = run.freq
-            act_all[block] = run.activity
-            duty_all[block] = run.duties
-            on_all[block] = run.powered
-            temps0_all[block] = run.temps
-            scale_all[block] = run.leak_scale
-            rows = np.arange(off, off + batch)
-            freq_all[rows, run.candidates] = run.thread.fmin_ghz
-            act_all[rows, run.candidates] = run.thread.mean_activity
-            duty_all[rows, run.candidates] = run.thread.duty_cycle
-            offsets.append(off)
-            off += batch
+        # delta — exactly the matrices its solo call would build,
+        # assembled by gathers from the persistent lane stacks instead
+        # of per-lane fills.  The delta path stacks only the duty
+        # matrix (the walk needs it) plus one base row per lane; the
+        # dense path stacks the full candidate matrices.
+        counts = np.array([run.candidates.size for run in active])
+        total = int(counts.sum())
+        offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
+        row_lane = np.repeat(lane_idx, counts)
+        rows = np.arange(total)
+        cand_cols = np.concatenate([run.candidates for run in active])
+        fmin_vec = np.array([run.thread.fmin_ghz for run in active])
+        mact_vec = np.array([run.thread.mean_activity for run in active])
+        duty_vec = np.array([run.thread.duty_cycle for run in active])
+        duty_all = duties_l[row_lane]
+        duty_all[rows, cand_cols] = duty_vec[row_lane]
 
-        temps_all = predictor0.predict_batch(
-            freq_all,
-            act_all,
-            on_all,
-            initial_temps_k=temps0_all,
-            leakage_scale=scale_all,
-        )
+        seed_lanes = None
+        # Cost gate mirroring the sequential mapper's: the stacked base
+        # solve pays for itself only when the dense work it replaces
+        # (total candidate rows x n) is large enough.
+        if evaluator is not None and total * n >= opts.min_dense_rows:
+            with obs.timer("sim.delta_eval"):
+                new_dyn = dynamic.power_w(fmin_vec, mact_vec)[row_lane]
+                base = evaluator.solve_base(
+                    freq_l, act_l, on_l, temps_l, leakage_scale=scale_l
+                )
+                temps_all = evaluator.candidate_temps(
+                    base, row_lane, cand_cols, new_dyn
+                )
+                # Walk seeds are computed once per lane (first round)
+                # and reused: `_ages_seeded` verifies every element, so
+                # a stale count costs a relocation, not correctness.
+                missing = [
+                    li
+                    for li, run in enumerate(active)
+                    if run.seed_counts is None
+                ]
+                fresh = (
+                    est0.seed_crossing_counts(
+                        base.final[missing],
+                        duties_l[missing],
+                        health_l[missing],
+                    )
+                    if missing
+                    else None
+                )
+                if missing and fresh is None:
+                    seed_lanes = None  # non-monotone table: no seeds
+                else:
+                    if missing:
+                        for row, li in enumerate(missing):
+                            active[li].seed_counts = fresh[row]
+                    seed_lanes = np.stack(
+                        [run.seed_counts for run in active]
+                    )
+            obs.inc("sim.delta_rounds")
+        else:
+            freq_all = freq_l[row_lane]
+            act_all = act_l[row_lane]
+            freq_all[rows, cand_cols] = fmin_vec[row_lane]
+            act_all[rows, cand_cols] = mact_vec[row_lane]
+
+            temps_all = predictor0.predict_batch(
+                freq_all,
+                act_all,
+                on_l[row_lane],
+                initial_temps_k=temps_l[row_lane],
+                leakage_scale=scale_l[row_lane],
+            )
 
         # Per-lane feasibility keep, then one stacked health walk over
         # the surviving rows (each row carrying its lane's health).
-        kept: list[tuple[np.ndarray, np.ndarray]] = []
-        for run, off in zip(active, offsets):
-            batch = run.candidates.size
-            temps_b = temps_all[off : off + batch]
-            duty_b = duty_all[off : off + batch]
-            tmax = temps_b.max(axis=1)
-            thermally_ok = tmax <= run.mapper.tsafe_k
+        tmax_all = temps_all.max(axis=1)
+        ok_all = tmax_all <= tsafe_l[row_lane]
+        kept_counts = np.empty(len(active), dtype=np.intp)
+        keep_parts: list[np.ndarray] = []
+        for li, (run, off) in enumerate(zip(active, offsets)):
+            batch = int(counts[li])
+            thermally_ok = ok_all[off : off + batch]
             if thermally_ok.all():
                 keep = np.arange(batch)
-                temps_keep, duty_keep = temps_b, duty_b
             elif thermally_ok.any():
                 keep = np.flatnonzero(thermally_ok)
-                temps_keep, duty_keep = temps_b[keep], duty_b[keep]
             else:
                 # Every placement overshoots; take the least-bad one
                 # (the sequential path's naive-optimization fallback).
-                keep = np.array([int(np.argmin(tmax))])
-                temps_keep, duty_keep = temps_b[keep], duty_b[keep]
+                keep = np.array(
+                    [int(np.argmin(tmax_all[off : off + batch]))]
+                )
             run.keep = keep
-            run.temps_b = temps_b
-            kept.append((temps_keep, duty_keep))
+            run.temps_b = temps_all[off : off + batch]
+            keep_parts.append(off + keep)
+            kept_counts[li] = keep.size
 
-        ktotal = sum(len(run.keep) for run in active)
-        temps_kept = np.empty((ktotal, n))
-        duty_kept = np.empty((ktotal, n))
-        health_rows = np.empty((ktotal, n))
-        kept_offsets: list[int] = []
-        koff = 0
-        for run, (temps_keep, duty_keep) in zip(active, kept):
-            k = len(run.keep)
-            temps_kept[koff : koff + k] = temps_keep
-            duty_kept[koff : koff + k] = duty_keep
-            health_rows[koff : koff + k] = run.health_now
-            kept_offsets.append(koff)
-            koff += k
+        keep_global = np.concatenate(keep_parts)
+        kept_lane = np.repeat(lane_idx, kept_counts)
+        kept_offsets = np.concatenate(([0], np.cumsum(kept_counts[:-1])))
+        temps_kept = temps_all[keep_global]
+        duty_kept = duty_all[keep_global]
+        health_rows = health_l[kept_lane]
+        seed_rows = seed_lanes[kept_lane] if seed_lanes is not None else None
 
         health_all = est0.estimate_next_health_rows(
-            temps_kept, duty_kept, health_rows, epoch_years
+            temps_kept, duty_kept, health_rows, epoch_years,
+            seed_counts=seed_rows,
         )
 
-        # Scoring, the winner commit, and the carried-forward running
-        # vectors stay per lane — map_threads's exact expressions.
-        for run, koff in zip(active, kept_offsets):
+        # Eq. 9 over all kept rows in one sweep: per-lane scalars
+        # (alpha, beta, wmax, required frequency) ride in as per-row
+        # gathers, so every element sees exactly the operands its
+        # per-lane call saw and the sweep stays bit-identical.
+        kept_cores_all = cand_cols[keep_global]
+        if batched_scoring:
+            ktotal = keep_global.size
+            h_next = health_all[np.arange(ktotal), kept_cores_all]
+            h_now = health_l[kept_lane, kept_cores_all]
+            gap = fmax_l[kept_lane, kept_cores_all] - fmin_vec[kept_lane]
+            raw = np.full(ktotal, np.inf)
+            np.divide(
+                alpha_l[kept_lane],
+                np.maximum(gap, 1e-12),
+                out=raw,
+                where=gap > 0,
+            )
+            # Nonpositive health raises per lane in the commit loop
+            # below (matching the sequential order); silence the sweep's
+            # speculative divide for that pathological case.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                weights_all = (
+                    np.minimum(wmax_l[kept_lane], raw)
+                    + beta_l[kept_lane] * h_next / h_now
+                    + coeff_l[kept_lane] * health_all.mean(axis=1)
+                )
+
+        # The winner commit and the carried-forward running vectors
+        # stay per lane — map_threads's exact expressions — and mirror
+        # every write into the persistent lane stacks.
+        for li, (run, koff) in enumerate(zip(active, kept_offsets)):
             mapper = run.mapper
             thread = run.thread
-            k = len(run.keep)
-            health_b = health_all[koff : koff + k]
-            kept_cores = run.candidates[run.keep]
-            h_candidate_next = health_b[np.arange(k), kept_cores]
-            weights = mapper.weighting.weight(
-                run.fmax[kept_cores],
-                thread.fmin_ghz,
-                h_candidate_next,
-                run.health_now[kept_cores],
-                run.elapsed,
-            )
-            weights = weights + mapper.chip_health_coeff * n * health_b.mean(
-                axis=1
-            )
+            k = int(kept_counts[li])
+            kept_cores = kept_cores_all[koff : koff + k]
+            if batched_scoring:
+                if (health_l[li, kept_cores] <= 0).any():
+                    raise ValueError("current health must be positive")
+                weights = weights_all[koff : koff + k]
+            else:
+                health_b = health_all[koff : koff + k]
+                h_candidate_next = health_b[np.arange(k), kept_cores]
+                weights = mapper.weighting.weight(
+                    run.fmax[kept_cores],
+                    thread.fmin_ghz,
+                    h_candidate_next,
+                    run.health_now[kept_cores],
+                    run.elapsed,
+                )
+                weights = weights + mapper.chip_health_coeff * n * (
+                    health_b.mean(axis=1)
+                )
             if mapper.comm_weight > 0:
                 weights = weights - mapper.comm_weight * mapper._comm_penalty(
                     run.state, thread, kept_cores, comm=run.comm
@@ -372,5 +500,9 @@ def _map_group(runs: list[_LaneRun], epoch_years: float) -> None:
             run.activity[core] = thread.mean_activity
             run.duties[core] = thread.duty_cycle
             run.temps = run.temps_b[run.keep[winner]]
+            freq_l[li, core] = thread.fmin_ghz
+            act_l[li, core] = thread.mean_activity
+            duties_l[li, core] = thread.duty_cycle
+            temps_l[li] = run.temps
             if run.comm is not None:
                 insort(run.comm.setdefault(thread.app_name, []), core)

@@ -102,6 +102,16 @@ class MetricsSnapshot:
         return self.counters.get(name, default)
 
 
+#: Timer names that additionally record a ``name@parent`` aggregate on
+#: exit, where ``parent`` is the innermost enclosing span at entry.
+#: This gives shared subsystems (the aging-table walk runs under the
+#: decision, aging, and settle phases alike) per-parent attribution
+#: without touching call sites.  Keep this list to timers whose set of
+#: parents is identical across serial and parallel campaign execution —
+#: the parallel-equivalence tests compare timer-count dicts verbatim.
+ATTRIBUTED_TIMERS = frozenset({"aging.walk", "sim.delta_eval"})
+
+
 class _Span:
     """A running timer span; records duration (and a trace event) on exit."""
 
@@ -114,20 +124,28 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         registry = self._registry
-        self._depth = registry._span_depth
-        registry._span_depth = self._depth + 1
+        stack = registry._span_stack
+        self._depth = len(stack)
+        stack.append(self._name)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         end = time.perf_counter()
         registry = self._registry
-        registry._span_depth = self._depth
+        stack = registry._span_stack
+        del stack[self._depth :]
         duration = end - self._start
         stats = registry._timers.get(self._name)
         if stats is None:
             stats = registry._timers[self._name] = TimerStats()
         stats.observe(duration)
+        if self._name in ATTRIBUTED_TIMERS and stack:
+            qualified = f"{self._name}@{stack[-1]}"
+            qstats = registry._timers.get(qualified)
+            if qstats is None:
+                qstats = registry._timers[qualified] = TimerStats()
+            qstats.observe(duration)
         if registry.tracing:
             registry._append_event(
                 {
@@ -182,8 +200,13 @@ class MetricsRegistry:
         self._timers: dict = {}
         self._events: list = []
         self._dropped = 0
-        self._span_depth = 0
+        self._span_stack: list = []
         self._epoch = time.perf_counter()
+
+    @property
+    def _span_depth(self) -> int:
+        """Current span nesting depth (length of the open-span stack)."""
+        return len(self._span_stack)
 
     # -- recording ------------------------------------------------------
     def inc(self, name: str, value: float = 1) -> None:
@@ -248,7 +271,7 @@ class MetricsRegistry:
         self._timers.clear()
         self._events.clear()
         self._dropped = 0
-        self._span_depth = 0
+        self._span_stack.clear()
         self._epoch = time.perf_counter()
 
 

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.aging.health import advance_batch
 from repro.aging.walk import walk_options
+from repro.core.delta_eval import delta_options
 from repro.dtm.policy import DTMPolicy
 from repro.noc.metrics import evaluate_mapping
 from repro.obs import get_registry
@@ -202,7 +203,7 @@ class BatchLifetimeSimulator:
 
         with walk_options(
             dedup=cfg.walk_dedup, approx_tol=cfg.approx_table_walk
-        ):
+        ), delta_options(enabled=cfg.delta_candidates):
             for epoch in range(cfg.num_epochs):
                 with obs.timer(
                     "sim.batch_epoch",

@@ -76,6 +76,17 @@ class SimulationConfig:
         tolerance.  ``None`` (the default) keeps the walk exact; has no
         effect when ``walk_dedup`` is off (the snap lives in the
         engine).
+    delta_candidates:
+        Evaluate Algorithm 1 candidate placements incrementally
+        (:mod:`repro.core.delta_eval`): one base thermal solve per
+        round plus per-candidate rank-1 updates, and bracket
+        warm-started aging-table walks.  The walk seeding changes no
+        bits; the thermal reconstruction linearizes the off-column
+        leakage response (millikelvin-scale deviation, asserted in
+        tests), so mapping decisions can in principle differ from the
+        dense path near exact ties.  ``False`` (CLI
+        ``--no-delta-candidates``) restores the dense per-candidate
+        evaluation exactly.
     """
 
     lifetime_years: float = 10.0
@@ -93,6 +104,7 @@ class SimulationConfig:
     segment_cache: bool = True
     walk_dedup: bool = True
     approx_table_walk: float | None = None
+    delta_candidates: bool = True
 
     def __post_init__(self) -> None:
         check_positive("lifetime_years", self.lifetime_years)

@@ -13,6 +13,7 @@ import heapq
 import numpy as np
 
 from repro.aging.walk import walk_options
+from repro.core.delta_eval import delta_options
 from repro.dtm.policy import DTMPolicy
 from repro.mapping.state import ChipState
 from repro.noc.metrics import evaluate_mapping
@@ -87,7 +88,7 @@ class LifetimeSimulator:
 
         with walk_options(
             dedup=cfg.walk_dedup, approx_tol=cfg.approx_table_walk
-        ):
+        ), delta_options(enabled=cfg.delta_candidates):
             for epoch in range(cfg.num_epochs):
                 mix = self._mix_factory(
                     epoch, num_threads, factory.rng("epoch", epoch)

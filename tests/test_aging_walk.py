@@ -20,9 +20,12 @@ from repro.aging.estimator import CoreAgingEstimator
 from repro.aging.health import HealthState, advance_batch
 from repro.aging.tables import AgingTable, build_aging_table
 from repro.aging.walk import (
+    _PROBE_FLOOR,
+    _PROBE_HOLDOFF,
     WalkEngine,
     WalkOptions,
     get_walk_engine,
+    walk_crossing_counts,
     walk_next_health,
     walk_options,
 )
@@ -425,3 +428,182 @@ class TestApproxMode:
             walk_next_health(aging_table, t, d, h, 0.5),
             aging_table.next_health(t, d, h, 0.5),
         )
+
+
+class TestSeededWalk:
+    """Bracket warm-start: bit-identical for ANY seeds, fast for good ones."""
+
+    def test_exact_seeds_bit_identical_and_reused(self, aging_table):
+        rng = np.random.default_rng(20)
+        engine = _fresh_engine(aging_table)
+        t, d, h = _random_batch(rng, 400, aging_table)
+        counts = engine.crossing_counts(t, d, h)
+        assert counts is not None and counts.shape == t.shape
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            got = engine.next_health(t, d, h, 0.5, seed_counts=counts)
+        np.testing.assert_array_equal(
+            got, aging_table.next_health(t, d, h, 0.5)
+        )
+        counters = registry.snapshot().counters
+        # Seeds from the very same state verify nearly everywhere (the
+        # few exceptions are grid-point sentinels the seeded gather
+        # cannot express).
+        assert counters["aging.walk_bracket_reuse"] >= 0.9 * t.size
+        assert counters["aging.walk_unique"] == t.size
+
+    def test_garbage_seeds_fuzz_bit_identical(self):
+        """Any integer seeds — wild, negative, out of range — must be
+        verified away without changing a single bit."""
+        rng = np.random.default_rng(21)
+        for _ in range(8):
+            table = _random_monotone_table(rng)
+            engine = _fresh_engine(table)
+            t, d, h = _random_batch(rng, 250, table)
+            n_y = table.age_grid_years.size
+            seeds = rng.integers(-5, 3 * n_y, t.size)
+            got = engine.next_health(t, d, h, 0.5, seed_counts=seeds)
+            np.testing.assert_array_equal(
+                got, table.next_health(t, d, h, 0.5)
+            )
+
+    def test_perturbed_temps_with_base_seeds(self, aging_table):
+        """The delta-engine scenario: candidate temperatures are small
+        perturbations of the base row whose counts seeded the walk."""
+        rng = np.random.default_rng(22)
+        engine = _fresh_engine(aging_table)
+        t, d, h = _random_batch(rng, 300, aging_table)
+        counts = engine.crossing_counts(t, d, h)
+        t_pert = t + rng.uniform(-2.0, 2.0, t.size)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            got = engine.next_health(
+                t_pert, d, h, 0.5, seed_counts=counts
+            )
+        np.testing.assert_array_equal(
+            got, aging_table.next_health(t_pert, d, h, 0.5)
+        )
+        # Small thermal perturbations rarely move the age bracket, so
+        # most seeds still verify.
+        counters = registry.snapshot().counters
+        assert counters["aging.walk_bracket_reuse"] > 0.5 * t.size
+
+    def test_seed_length_mismatch_rejected(self, aging_table):
+        engine = _fresh_engine(aging_table)
+        rng = np.random.default_rng(23)
+        t, d, h = _random_batch(rng, 50, aging_table)
+        with pytest.raises(ValueError):
+            engine.next_health(
+                t, d, h, 0.5, seed_counts=np.zeros(49, dtype=np.intp)
+            )
+
+    def test_nonmonotone_table_ignores_seeds(self):
+        rng = np.random.default_rng(24)
+        table = _random_nonmonotone_table(rng)
+        engine = _fresh_engine(table)
+        assert engine.crossing_counts(
+            np.array([300.0]), np.array([0.5]), np.array([0.9])
+        ) is None
+        t, d, h = _random_batch(rng, 200, table)
+        seeds = rng.integers(0, 8, t.size)
+        got = engine.next_health(t, d, h, 0.5, seed_counts=seeds)
+        np.testing.assert_array_equal(got, table.next_health(t, d, h, 0.5))
+
+    def test_module_function_respects_dedup_hatch(self, aging_table):
+        rng = np.random.default_rng(25)
+        t, d, h = _random_batch(rng, 60, aging_table)
+        counts = walk_crossing_counts(aging_table, t, d, h)
+        assert counts is not None
+        with walk_options(dedup=False):
+            # The hatch bypasses the engine entirely: no counts to
+            # seed with, and seeds passed anyway are ignored.
+            assert walk_crossing_counts(aging_table, t, d, h) is None
+            out = walk_next_health(
+                aging_table, t, d, h, 0.5, seed_counts=counts
+            )
+        np.testing.assert_array_equal(
+            out, aging_table.next_health(t, d, h, 0.5)
+        )
+
+
+class TestProbeBypass:
+    """The dedup/memo probes step aside when they cannot pay for
+    themselves; results stay bit-identical either way."""
+
+    def test_small_batch_bypasses_probes(self, aging_table):
+        rng = np.random.default_rng(26)
+        engine = _fresh_engine(aging_table)
+        base_t, base_d, base_h = _random_batch(rng, 20, aging_table)
+        reps = rng.integers(0, 20, _PROBE_FLOOR - 1)  # heavy duplication
+        t, d, h = base_t[reps], base_d[reps], base_h[reps]
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            got = engine.next_health(t, d, h, 0.5)
+        np.testing.assert_array_equal(
+            got, aging_table.next_health(t, d, h, 0.5)
+        )
+        counters = registry.snapshot().counters
+        # Below the floor nothing probes: every element walks.
+        assert counters["aging.walk_unique"] == t.size
+        assert counters.get("aging.walk_dedup_hits", 0) == 0
+
+    def test_holdoff_cycle_after_deactivation(self, aging_table):
+        rng = np.random.default_rng(27)
+        engine = _fresh_engine(aging_table)
+        # Warmup on all-distinct batches: zero reuse, so the EMA stays
+        # at the floor and the warmup's last call arms the holdoff.
+        for _ in range(8):
+            t, d, h = _random_batch(
+                rng, 200, aging_table, dark_frac=0.0, pristine_frac=0.0
+            )
+            engine.next_health(t, d, h, 0.5)
+        assert engine._probe_holdoff == _PROBE_HOLDOFF
+
+        base_t, base_d, base_h = _random_batch(rng, 40, aging_table)
+        reps = rng.integers(0, 40, 320)
+        t, d, h = base_t[reps], base_d[reps], base_h[reps]
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            got = engine.next_health(t, d, h, 0.5)
+        np.testing.assert_array_equal(
+            got, aging_table.next_health(t, d, h, 0.5)
+        )
+        counters = registry.snapshot().counters
+        # Held off: the duplicates went unnoticed (insurance recovered).
+        assert counters["aging.walk_unique"] == 320
+        assert counters.get("aging.walk_dedup_hits", 0) == 0
+        assert engine._probe_holdoff == _PROBE_HOLDOFF - 1
+
+        # Drain the holdoff; the next call probes again and catches the
+        # redundancy, reactivating the layers.
+        for _ in range(_PROBE_HOLDOFF - 1):
+            engine.next_health(t, d, h, 0.5)
+        assert engine._probe_holdoff == 0
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            got = engine.next_health(t, d, h, 0.5)
+        np.testing.assert_array_equal(
+            got, aging_table.next_health(t, d, h, 0.5)
+        )
+        assert registry.snapshot().counters["aging.walk_dedup_hits"] > 0
+
+    def test_seeded_walk_skips_probes(self, aging_table):
+        """Seeded batches go straight to the seeded walk — duplicates
+        are not even probed for (candidate temps are all distinct by
+        construction; the probe would never pay)."""
+        rng = np.random.default_rng(28)
+        engine = _fresh_engine(aging_table)
+        base_t, base_d, base_h = _random_batch(rng, 30, aging_table)
+        reps = rng.integers(0, 30, 300)
+        t, d, h = base_t[reps], base_d[reps], base_h[reps]
+        counts = engine.crossing_counts(t, d, h)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            got = engine.next_health(t, d, h, 0.5, seed_counts=counts)
+        np.testing.assert_array_equal(
+            got, aging_table.next_health(t, d, h, 0.5)
+        )
+        counters = registry.snapshot().counters
+        assert counters["aging.walk_unique"] == 300
+        assert counters.get("aging.walk_dedup_hits", 0) == 0
+        assert counters["aging.walk_bracket_reuse"] >= 0.9 * 300
