@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Fleet-service smoke: serve, kill, resume, verify — plus memory note.
+
+Exercises the `repro serve` acceptance path end to end against a
+temporary fleet directory:
+
+1. run a reference request to completion in-process,
+2. spawn the CLI daemon on a fresh fleet, SIGKILL it mid-request,
+3. restart and drain, then assert the resumed response's aggregates
+   are byte-identical to the reference and that a re-submission is
+   answered entirely from the content-addressed store,
+4. append a synthetic 1000-job block to the store and report the
+   peak RSS alongside the store's on-disk size — the O(aggregate)
+   memory evidence (results live on disk; the daemon keeps an index
+   and running aggregates only).
+
+Exit code 0 means every check passed.  Intended for the non-blocking
+CI smoke job; runs fine on 1-core hosts (the daemon's serial backend).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.sim.fleet import FleetDaemon, ResultStore, submit_request  # noqa: E402
+
+REQUEST = {
+    "policies": ["vaa", "hayat"],
+    "chips": 3,
+    "dark_fractions": [0.5],
+    "years": 1.0,
+    "config": {"epoch_years": 0.5, "window_s": 5.0},
+    "seed": 3,
+    "baseline": "vaa",
+}
+
+
+def run_reference(base: str) -> tuple[str, dict]:
+    root = os.path.join(base, "reference")
+    with FleetDaemon(root) as daemon:
+        request_id = submit_request(root, REQUEST)
+        daemon.serve(drain=True)
+    with open(os.path.join(root, "results", f"{request_id}.json")) as handle:
+        return request_id, json.load(handle)
+
+
+def kill_and_resume(base: str, request_id: str) -> tuple[dict, dict]:
+    root = os.path.join(base, "fleet")
+    submit_request(root, REQUEST)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--fleet-dir", root, "--drain", "--quiet"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    scalars = os.path.join(root, "store", "scalars.jsonl")
+    deadline = time.monotonic() + 300.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break
+        if os.path.exists(scalars) and os.path.getsize(scalars) > 0:
+            break
+        time.sleep(0.05)
+    killed = proc.poll() is None
+    if killed:
+        os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+    print(f"daemon {'killed mid-request' if killed else 'finished before kill'}")
+
+    with FleetDaemon(root) as daemon:
+        daemon.serve(drain=True)
+    with open(os.path.join(root, "results", f"{request_id}.json")) as handle:
+        resumed = json.load(handle)
+
+    # Re-submission: answered entirely from the store.
+    with FleetDaemon(root) as daemon:
+        submit_request(root, REQUEST)
+        daemon.serve(drain=True)
+    with open(os.path.join(root, "results", f"{request_id}.json")) as handle:
+        return resumed, json.load(handle)
+
+
+def store_memory_note(base: str) -> dict:
+    """Append 1000 synthetic jobs; report RSS growth vs store size."""
+    from repro.sim import run_campaign, SimulationConfig
+    from repro.core import HayatManager
+
+    campaign = run_campaign(
+        [HayatManager()],
+        num_chips=1,
+        config=SimulationConfig(
+            lifetime_years=0.5, epoch_years=0.5, window_s=3.0, seed=3
+        ),
+    )
+    result = campaign.results["hayat"][0]
+    rss_before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    with ResultStore(os.path.join(base, "bigstore")) as store:
+        for index in range(1000):
+            store.append(f"job-{index}", result, requirement_ghz=1.0)
+        note = {
+            "jobs": len(store),
+            "store_bytes": store.bytes_on_disk(),
+            "rss_growth_kib": resource.getrusage(
+                resource.RUSAGE_SELF
+            ).ru_maxrss - rss_before,
+        }
+    return note
+
+
+def main() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory() as base:
+        request_id, reference = run_reference(base)
+        resumed, cached = kill_and_resume(base, request_id)
+        if json.dumps(resumed["aggregates"], sort_keys=True) != json.dumps(
+            reference["aggregates"], sort_keys=True
+        ):
+            failures.append("resumed aggregates differ from reference")
+        if cached["cache_hits"] != cached["jobs"] or cached["simulated"] != 0:
+            failures.append(
+                f"re-submission not fully cached: {cached['cache_hits']} hits "
+                f"of {cached['jobs']} jobs, {cached['simulated']} simulated"
+            )
+        note = store_memory_note(base)
+        print(f"resume: aggregates byte-identical over {resumed['jobs']} jobs")
+        print(
+            f"cache: {cached['cache_hits']}/{cached['jobs']} hits on re-submission"
+        )
+        print(
+            f"memory: {note['jobs']} stored jobs -> "
+            f"{note['store_bytes']} bytes on disk, "
+            f"+{note['rss_growth_kib']} KiB peak RSS in the writer"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("fleet smoke:", "FAIL" if failures else "OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,11 +8,15 @@ Commands
     Run one chip's lifetime under a policy; optionally export results.
 ``campaign``
     Run a VAA-vs-Hayat campaign and print the normalized figure metrics.
+``serve``
+    Run the fleet campaign daemon over a spool directory (or submit a
+    request to it / query its status).
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 import numpy as np
@@ -286,6 +290,68 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_supervision_flags(sweep)
     _add_batch_flags(sweep)
     _add_observability_flags(sweep)
+
+    serve = sub.add_parser(
+        "serve", help="fleet campaign daemon over a spool directory"
+    )
+    serve.add_argument(
+        "--fleet-dir",
+        required=True,
+        metavar="DIR",
+        help=(
+            "fleet root directory (spool/, results/, done/, store/ are "
+            "created inside it)"
+        ),
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="persistent worker processes"
+    )
+    serve.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="S",
+        help="spool poll interval in seconds",
+    )
+    serve.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the spool is empty instead of polling forever",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after processing N requests",
+    )
+    serve.add_argument(
+        "--requirement-ghz",
+        type=float,
+        default=None,
+        metavar="GHZ",
+        help=(
+            "pin one MTTF frequency requirement fleet-wide, overriding "
+            "each request's requirement_ghz"
+        ),
+    )
+    serve.add_argument(
+        "--submit",
+        metavar="PATH",
+        help=(
+            "submit the request JSON at PATH to the fleet spool and exit "
+            "(prints the request id; run without --submit to process it)"
+        ),
+    )
+    serve.add_argument(
+        "--status",
+        action="store_true",
+        help="print the fleet's status (store, queue, aggregates) and exit",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    _add_observability_flags(serve)
     return parser
 
 
@@ -506,6 +572,66 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.sim.fleet import FleetDaemon, fleet_status, submit_request
+
+    if args.status:
+        status = fleet_status(args.fleet_dir)
+        aggregates = status.get("aggregates") or {}
+        rows = [
+            ["jobs stored", status.get("jobs_stored", 0)],
+            ["queue depth", status.get("queue_depth", 0)],
+            ["requests done", status.get("requests_done", "n/a")],
+            ["cache hits", status.get("cache_hits", "n/a")],
+            ["cache misses", status.get("cache_misses", "n/a")],
+            ["store bytes", status.get("store_bytes", "n/a")],
+            ["jobs/s (busy)", f"{status['jobs_per_s']:.2f}"
+             if isinstance(status.get("jobs_per_s"), float) else "n/a"],
+        ]
+        print(format_table(["fleet", "value"], rows, title=args.fleet_dir))
+        for name, group in (aggregates.get("groups") or {}).items():
+            mttf = group["mttf_years"]["percentiles"].get("p50")
+            print(
+                f"  {name}: {group['jobs']} jobs, "
+                f"{group['dead_cores']}/{group['cores']} dead cores, "
+                f"median MTTF "
+                f"{'n/a' if mttf is None else f'{mttf:.2f} y'}"
+            )
+        return 0
+
+    if args.submit:
+        with open(args.submit, encoding="utf-8") as handle:
+            data = json.load(handle)
+        request_id = submit_request(args.fleet_dir, data)
+        print(request_id)
+        return 0
+
+    registry = _start_observability(args)
+    progress = (
+        None if args.quiet else (lambda policy, chip: print(f"  {policy} / {chip}"))
+    )
+    with FleetDaemon(
+        args.fleet_dir,
+        workers=args.workers,
+        poll_s=args.poll,
+        requirement_ghz=args.requirement_ghz,
+    ) as daemon:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: daemon.stop())
+        print(
+            f"serving fleet at {args.fleet_dir} "
+            f"({daemon.workers} worker(s); SIGTERM/SIGINT to stop)"
+        )
+        processed = daemon.serve(
+            drain=args.drain, max_requests=args.max_requests, progress=progress
+        )
+    print(f"processed {processed} request(s)")
+    _finish_observability(args, registry)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -529,6 +655,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": _cmd_campaign,
         "run-scenario": _cmd_run_scenario,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -80,8 +80,9 @@ class CampaignResult:
         """
         out = []
         for base, other in self._pairs(baseline, policy):
-            if base.total_dtm_events() > 0:
-                out.append(other.total_dtm_events() / base.total_dtm_events())
+            base_events = base.total_dtm_events()
+            if base_events > 0:
+                out.append(other.total_dtm_events() / base_events)
         return np.array(out)
 
     def normalized_temp_rise(self, baseline: str, policy: str) -> np.ndarray:
@@ -153,6 +154,18 @@ class CampaignResult:
             return float("nan")
         return float(np.mean(lifetimes))
 
+    def fleet_aggregates(self, requirement_ghz: float = 1.0):
+        """This campaign folded through the fleet aggregation layer.
+
+        Returns the :class:`repro.sim.fleet.aggregates.FleetAggregates`
+        a ``repro serve`` fleet would report for these same jobs — the
+        identical per-job fold, so one-shot campaigns and the daemon's
+        streaming store agree number for number.
+        """
+        from repro.sim.fleet.aggregates import aggregate_campaign
+
+        return aggregate_campaign(self, requirement_ghz=requirement_ghz)
+
 
 def _distinct_floorplans(population) -> list:
     """One floorplan per distinct thermal signature in the population."""
@@ -160,6 +173,39 @@ def _distinct_floorplans(population) -> list:
     for chip in population:
         seen.setdefault(floorplan_signature(chip.floorplan), chip.floorplan)
     return list(seen.values())
+
+
+def build_shared(
+    config: SimulationConfig,
+    table: AgingTable,
+    population,
+    *,
+    dtm=None,
+    mix_factory=None,
+    isolate_metrics: bool = False,
+) -> dict:
+    """The campaign-invariant dict every supervised worker is seeded with.
+
+    Factored out of :func:`run_campaign` so the fleet daemon
+    (:mod:`repro.sim.fleet`) provisions its persistent worker pools with
+    exactly the invariants a one-shot campaign would ship — same
+    thermal-cache warm-up, same metrics-isolation contract.
+    """
+    registry = get_registry()
+    return {
+        "table": table,
+        "config": config,
+        "dtm": dtm,
+        "mix_factory": mix_factory,
+        "collect": registry.enabled,
+        "tracing": registry.tracing,
+        # Checkpointing stores per-job snapshots; retrying must discard
+        # a failed attempt's partial metrics.  Both need job-isolated
+        # registries even in the serial path.
+        "isolate_metrics": bool(isolate_metrics),
+        "warm_floorplans": _distinct_floorplans(population),
+        "thermal_cache_enabled": get_thermal_cache().enabled,
+    }
 
 
 def _resolve_batch_size(batch_size, population, workers: int) -> int | None:
@@ -288,27 +334,18 @@ def run_campaign(
     batch_size = _resolve_batch_size(batch_size, population, workers)
 
     policies = list(policies)
-    registry = get_registry()
     store = digest = None
     if checkpoint is not None:
         store = CampaignCheckpoint(checkpoint)
         digest = campaign_digest(config, population, table)
-    shared = {
-        "table": table,
-        "config": config,
-        "dtm": dtm,
-        "mix_factory": mix_factory,
-        "collect": registry.enabled,
-        "tracing": registry.tracing,
-        # Checkpointing stores per-job snapshots; retrying must discard
-        # a failed attempt's partial metrics.  Both need job-isolated
-        # registries even in the serial path.
-        "isolate_metrics": bool(
-            store is not None or retries > 0 or allow_partial
-        ),
-        "warm_floorplans": _distinct_floorplans(population),
-        "thermal_cache_enabled": get_thermal_cache().enabled,
-    }
+    shared = build_shared(
+        config,
+        table,
+        population,
+        dtm=dtm,
+        mix_factory=mix_factory,
+        isolate_metrics=store is not None or retries > 0 or allow_partial,
+    )
     jobs = [(policy, chip) for policy in policies for chip in population]
     if workers > 1 or job_timeout_s is not None:
         for name, knob in (("dtm", dtm), ("mix_factory", mix_factory)):

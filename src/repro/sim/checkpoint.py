@@ -35,18 +35,24 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass, fields
+import threading
+import warnings
+from dataclasses import dataclass, fields, is_dataclass
 
 import numpy as np
 
-from repro.obs import MetricsSnapshot, TimerStats
+from repro.obs import MetricsSnapshot, TimerStats, get_registry
 from repro.sim.export import result_from_dict, result_to_dict
 from repro.sim.results import LifetimeResult
 
 #: Format marker written into every record; bumped on layout changes so
 #: an old checkpoint degrades to "no usable records" instead of
-#: mis-parsing.
-CHECKPOINT_VERSION = 1
+#: mis-parsing.  Version 2: config fields enter the campaign digest
+#: through the canonical type-tagged encoding of :func:`_hash_value`
+#: instead of ``repr`` (whose numpy truncation could collide two
+#: different configs, and whose formatting can drift across library
+#: versions), so version-1 digests are not comparable.
+CHECKPOINT_VERSION = 2
 
 
 def _hash_array(hasher, array) -> None:
@@ -56,17 +62,103 @@ def _hash_array(hasher, array) -> None:
     hasher.update(data.tobytes())
 
 
+def _hash_value(hasher, value) -> None:
+    """Feed one config value into ``hasher`` canonically.
+
+    ``repr`` is not a stable encoding: numpy elides large arrays to
+    ``...`` (so two different arrays can share a repr, colliding their
+    digests and serving stale cache hits) and scalar formatting can
+    drift across interpreter or library versions (so one config can
+    miss its own checkpoint after an upgrade).  Every branch below
+    writes a type tag plus a length-framed, byte-exact encoding
+    instead; containers recurse, arrays hash dtype + shape + raw bytes.
+    """
+    update = hasher.update
+    if value is None:
+        update(b"none;")
+    elif isinstance(value, (bool, np.bool_)):
+        update(b"true;" if value else b"false;")
+    elif isinstance(value, (int, np.integer)):
+        encoded = str(int(value)).encode()
+        update(b"int%d:" % len(encoded))
+        update(encoded)
+    elif isinstance(value, (float, np.floating)):
+        update(b"float:")
+        update(np.float64(value).tobytes())
+    elif isinstance(value, complex):
+        update(b"complex:")
+        update(np.float64(value.real).tobytes())
+        update(np.float64(value.imag).tobytes())
+    elif isinstance(value, str):
+        encoded = value.encode()
+        update(b"str%d:" % len(encoded))
+        update(encoded)
+    elif isinstance(value, (bytes, bytearray)):
+        update(b"bytes%d:" % len(value))
+        update(bytes(value))
+    elif isinstance(value, np.ndarray):
+        update(b"array:")
+        _hash_array(hasher, value)
+    elif isinstance(value, (list, tuple)):
+        tag = b"list" if isinstance(value, list) else b"tuple"
+        update(tag + b"%d:" % len(value))
+        for item in value:
+            _hash_value(hasher, item)
+    elif isinstance(value, (set, frozenset)):
+        encodings = sorted(_hash_value_digest(item) for item in value)
+        update(b"set%d:" % len(encodings))
+        for encoding in encodings:
+            update(encoding)
+    elif isinstance(value, dict):
+        keyed = sorted(
+            ((_hash_value_digest(key), key) for key in value),
+            key=lambda pair: pair[0],
+        )
+        update(b"dict%d:" % len(keyed))
+        for encoded_key, key in keyed:
+            update(encoded_key)
+            _hash_value(hasher, value[key])
+    elif is_dataclass(value) and not isinstance(value, type):
+        nested = fields(value)
+        update(b"dataclass:")
+        _hash_value(hasher, type(value).__qualname__)
+        update(b"%d:" % len(nested))
+        for f in nested:
+            _hash_value(hasher, f.name)
+            _hash_value(hasher, getattr(value, f.name))
+    else:
+        # Last resort for foreign objects: the repr is still framed and
+        # qualified by the concrete type, so at least distinct types
+        # with agreeing reprs cannot collide.
+        encoded = repr(value).encode()
+        update(b"other:")
+        _hash_value(hasher, type(value).__qualname__)
+        update(b"%d:" % len(encoded))
+        update(encoded)
+
+
+def _hash_value_digest(value) -> bytes:
+    """Standalone canonical digest of one value (for order-free sets)."""
+    hasher = hashlib.sha256()
+    _hash_value(hasher, value)
+    return hasher.digest()
+
+
 def campaign_digest(config, population=None, table=None) -> str:
     """Hex digest identifying a campaign's invariants.
 
     Hashes every :class:`SimulationConfig` field plus (when given) the
     population's silicon and the aging table's grids, so two campaigns
-    share a digest exactly when their jobs are interchangeable.
+    share a digest exactly when their jobs are interchangeable.  Fields
+    are encoded canonically (:func:`_hash_value`), never through
+    ``repr``: array-valued fields hash their raw bytes, so numpy print
+    truncation can neither collide two configs nor destabilize one
+    config's digest across versions.
     """
     hasher = hashlib.sha256()
     for f in fields(config):
-        hasher.update(f.name.encode())
-        hasher.update(repr(getattr(config, f.name)).encode())
+        _hash_value(hasher, f.name)
+        _hash_value(hasher, getattr(config, f.name))
     if population is not None:
         for chip in population:
             hasher.update(chip.chip_id.encode())
@@ -130,51 +222,153 @@ class CheckpointRecord:
     snapshot: MetricsSnapshot | None
 
 
+class DurableAppender:
+    """A long-lived append handle with per-record durability.
+
+    One ``O_APPEND`` descriptor is opened lazily on first write and held
+    for the store's lifetime — the old open/fsync/close-per-record
+    scheme cost O(records) opens on the daemon's hot path and let
+    concurrent writers interleave through the buffering layer.  Every
+    :meth:`append` issues one unbuffered ``write`` (the kernel applies
+    ``O_APPEND`` positioning atomically, so whole records from
+    concurrent processes land contiguously, never spliced) followed by
+    ``fsync`` — the same durability the per-record reopen provided.
+    In-process concurrent writers are serialized by a lock.
+
+    If the file ends mid-line (a prior process died mid-append), the
+    first write is prefixed with a newline so the new record starts on
+    its own line instead of fusing with the torn tail and becoming
+    unreadable itself.
+    """
+
+    def __init__(self, path: str, line_framed: bool = True):
+        self.path = os.fspath(path)
+        self._line_framed = bool(line_framed)
+        self._lock = threading.Lock()
+        self._handle = None
+        self._offset = 0
+
+    def _open(self) -> None:
+        needs_newline = False
+        if self._line_framed and os.path.exists(self.path):
+            with open(self.path, "rb") as probe:
+                probe.seek(0, os.SEEK_END)
+                if probe.tell() > 0:
+                    probe.seek(-1, os.SEEK_END)
+                    needs_newline = probe.read(1) != b"\n"
+        self._handle = open(self.path, "ab", buffering=0)
+        self._offset = self._handle.seek(0, os.SEEK_END)
+        if needs_newline:
+            self._handle.write(b"\n")
+            self._offset += 1
+
+    def append(self, data: bytes) -> int:
+        """Durably append ``data``; returns the offset it was written at
+        (meaningful only while this process is the sole writer)."""
+        with self._lock:
+            if self._handle is None:
+                self._open()
+            offset = self._offset
+            self._handle.write(data)
+            os.fsync(self._handle.fileno())
+            self._offset += len(data)
+            return offset
+
+    def close(self) -> None:
+        """Release the append handle (reopened lazily on next append)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __del__(self):  # pragma: no cover - GC ordering is not pinned
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
 class CampaignCheckpoint:
     """Append-only JSONL store of completed campaign jobs.
 
     Opening the store loads every valid record already on disk (an
     absent file is an empty store).  :meth:`append` writes one record
-    and flushes it, so a crash after a job completes never loses that
-    job.  Truncated or malformed lines — the signature of a dirty
-    shutdown — are silently skipped on load; their jobs simply re-run.
+    through a held :class:`DurableAppender` handle (single write +
+    fsync), so a crash after a job completes never loses that job and
+    the daemon's hot path pays no per-record open.
+
+    Malformed lines are classified on load: a torn *final* line is the
+    expected signature of a dirty shutdown (``truncated_tail``; skipped
+    silently, its job re-runs), while a malformed *mid-file* line means
+    real corruption — it is counted in :attr:`skipped_lines` (and the
+    ``checkpoint.skipped_lines`` obs counter) and reported with a
+    :class:`RuntimeWarning` naming the line number, because its job
+    will silently recompute on every resume until the file is repaired.
+    Old-version records are skipped silently by design (the format
+    marker exists so layout changes degrade to "no usable records").
     """
 
     def __init__(self, path: str):
         self.path = os.fspath(path)
         self._records: dict[str, CheckpointRecord] = {}
+        #: Malformed lines that were not the torn final line.
+        self.skipped_lines = 0
+        #: Whether the file ended in a torn record (dirty shutdown).
+        self.truncated_tail = False
         self._load()
+        self._appender = DurableAppender(self.path)
 
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
+        with open(self.path, encoding="utf-8", errors="replace") as handle:
+            lines = handle.readlines()
+        registry = get_registry()
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                if data.get("version") != CHECKPOINT_VERSION:
                     continue
-                try:
-                    data = json.loads(line)
-                    if data.get("version") != CHECKPOINT_VERSION:
-                        continue
-                    record = CheckpointRecord(
-                        key=data["key"],
-                        result=result_from_dict(data["result"]),
-                        snapshot=(
-                            snapshot_from_dict(data["snapshot"])
-                            if data.get("snapshot") is not None
-                            else None
-                        ),
+                record = CheckpointRecord(
+                    key=data["key"],
+                    result=result_from_dict(data["result"]),
+                    snapshot=(
+                        snapshot_from_dict(data["snapshot"])
+                        if data.get("snapshot") is not None
+                        else None
+                    ),
+                )
+            except (ValueError, KeyError, TypeError):
+                if number == len(lines):
+                    self.truncated_tail = True
+                else:
+                    self.skipped_lines += 1
+                    registry.inc("checkpoint.skipped_lines")
+                    warnings.warn(
+                        f"checkpoint {self.path}: skipping malformed "
+                        f"record at line {number} of {len(lines)} "
+                        "(mid-file corruption, not a dirty shutdown); "
+                        "its job will re-run",
+                        RuntimeWarning,
+                        stacklevel=2,
                     )
-                except (ValueError, KeyError, TypeError):
-                    continue
-                self._records[record.key] = record
+                continue
+            self._records[record.key] = record
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __contains__(self, key: str) -> bool:
         return key in self._records
+
+    def __enter__(self) -> "CampaignCheckpoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def get(self, key: str) -> CheckpointRecord | None:
         """The stored record for ``key`` (``None`` when not recorded)."""
@@ -196,9 +390,9 @@ class CampaignCheckpoint:
                 snapshot_to_dict(snapshot) if snapshot is not None else None
             ),
         }
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(payload))
-            handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        self._appender.append(json.dumps(payload).encode() + b"\n")
         self._records[key] = record
+
+    def close(self) -> None:
+        """Release the append handle (safe to call repeatedly)."""
+        self._appender.close()

@@ -1,0 +1,602 @@
+"""The fleet campaign daemon behind ``repro serve``.
+
+A fleet run is many campaigns arriving over time — parameter studies,
+overnight sweeps, repeated what-ifs — too many jobs to hold in memory
+and too long-lived to re-provision a worker pool per request.  The
+daemon turns the one-shot campaign machinery into a service:
+
+* **Spool-directory queue** — clients drop request JSON into
+  ``<root>/spool/`` (atomically, via :func:`submit_request`); the
+  daemon polls, runs each request, writes its response to
+  ``<root>/results/<request_id>.json`` and retires the request file to
+  ``<root>/done/``.  No sockets, no wire protocol — the filesystem is
+  the API, which also makes the queue itself crash-durable.
+* **Sharded supervised execution** — each request's jobs run through
+  :func:`repro.sim.supervisor.run_supervised_jobs` exactly like a
+  one-shot campaign (same retries/batching/bit-identical results), but
+  against a *persistent* :class:`~repro.sim.supervisor.WorkerPoolHost`
+  keyed by the campaign digest, so back-to-back requests of the same
+  configuration reuse warm workers.
+* **Streaming store, running aggregates** — every completed job lands
+  in the append-only :class:`~repro.sim.fleet.store.ResultStore` via
+  the supervisor's ``on_result`` hook and folds into the daemon's
+  :class:`~repro.sim.fleet.aggregates.FleetAggregates` immediately; the
+  full :class:`~repro.sim.results.LifetimeResult` objects are dropped.
+  A million-job fleet therefore holds only the store index and the
+  per-group running aggregates.
+* **Content-addressed result cache** — each job's identity is its
+  :func:`~repro.sim.checkpoint.job_key` (policy, chip, dark floor,
+  canonical campaign digest, plus the MTTF requirement).  A job already
+  in the store is answered from it without simulating; re-submitting a
+  completed request touches zero workers (``fleet.cache_hits`` counts
+  the hits).
+* **Crash-safe resume** — SIGKILL the daemon mid-request and restart
+  it: the store's scan recovers every completed job (at most the one
+  torn final record re-runs), the pending request is still in the
+  spool, and the re-run answers the already-stored jobs from cache.
+  Response aggregates are computed by folding store records in
+  canonical submission-key order — never completion order — so a
+  resumed request's ``aggregates`` are *bit-identical* to an
+  uninterrupted run's.
+
+Responses deliberately carry no timestamps (timing lives in
+``status.json``): only the execution stats (``cache_hits``,
+``simulated``) distinguish two runs of the same request, and the
+scientific payload is byte-equal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field, fields, replace
+
+from repro.aging.tables import default_aging_table
+from repro.baselines import (
+    ContiguousManager,
+    CoolestFirstManager,
+    RandomManager,
+    VAAManager,
+)
+from repro.core import HayatManager
+from repro.obs import get_registry
+from repro.sim.campaign import build_shared
+from repro.sim.checkpoint import campaign_digest, job_key
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet.aggregates import FleetAggregates, aggregate_store
+from repro.sim.fleet.store import ResultStore
+from repro.sim.supervisor import (
+    WorkerPoolHost,
+    _init_worker,
+    run_supervised_jobs,
+)
+from repro.variation.population import generate_population
+
+#: Policies a fleet request may name (mirrors the CLI's registry; kept
+#: here so the daemon is importable without the CLI module).
+FLEET_POLICIES = {
+    "hayat": HayatManager,
+    "vaa": VAAManager,
+    "contiguous": ContiguousManager,
+    "coolest": CoolestFirstManager,
+    "random": RandomManager,
+}
+
+_SPOOL = "spool"
+_RESULTS = "results"
+_DONE = "done"
+_STORE = "store"
+_STATUS = "status.json"
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    """Publish ``payload`` at ``path`` atomically (tmp + rename)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+@dataclass
+class FleetRequest:
+    """One validated fleet campaign request.
+
+    The JSON form accepts ``policies`` (names from
+    :data:`FLEET_POLICIES`), ``chips``, ``population_seed``,
+    ``dark_fractions`` (one campaign per floor, deduplicated in order,
+    like :func:`~repro.sim.sweep.sweep_dark_fractions`), ``years`` /
+    ``window_s`` / ``seed`` shortcuts, an optional ``config`` dict of
+    further :class:`~repro.sim.config.SimulationConfig` overrides, a
+    ``requirement_ghz`` for MTTF accounting, an optional ``baseline``
+    policy for normalized metrics in the response, and an optional
+    ``request_id`` (defaulting to a content hash, so identical requests
+    share an identity and a response file).
+    """
+
+    request_id: str
+    policies: list[str]
+    chips: int
+    population_seed: int
+    dark_fractions: list[float]
+    config: SimulationConfig
+    requirement_ghz: float = 1.0
+    baseline: str | None = None
+    batch_size: object = "auto"
+    retries: int = 0
+    allow_partial: bool = True
+    raw: dict = field(default_factory=dict, repr=False)
+
+    _KNOWN = {
+        "request_id",
+        "policies",
+        "chips",
+        "population_seed",
+        "dark_fractions",
+        "years",
+        "window_s",
+        "seed",
+        "config",
+        "requirement_ghz",
+        "baseline",
+        "batch_size",
+        "retries",
+        "allow_partial",
+    }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetRequest":
+        if not isinstance(data, dict):
+            raise ValueError(f"request must be a JSON object, got {type(data).__name__}")
+        unknown = sorted(set(data) - cls._KNOWN)
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s) {unknown}; "
+                f"known fields: {sorted(cls._KNOWN)}"
+            )
+        policies = list(dict.fromkeys(data.get("policies", ["vaa", "hayat"])))
+        if not policies:
+            raise ValueError("request needs at least one policy")
+        for name in policies:
+            if name not in FLEET_POLICIES:
+                raise ValueError(
+                    f"unknown policy {name!r}; "
+                    f"choose from {sorted(FLEET_POLICIES)}"
+                )
+        baseline = data.get("baseline")
+        if baseline is not None and baseline not in policies:
+            raise ValueError(
+                f"baseline {baseline!r} is not among the requested "
+                f"policies {policies}"
+            )
+        chips = int(data.get("chips", 5))
+        if chips < 1:
+            raise ValueError("chips must be >= 1")
+        fractions = list(
+            dict.fromkeys(float(f) for f in data.get("dark_fractions", [0.5]))
+        )
+        if not fractions:
+            raise ValueError("request needs at least one dark fraction")
+        overrides = dict(data.get("config", {}))
+        for shortcut, config_field in (
+            ("years", "lifetime_years"),
+            ("window_s", "window_s"),
+            ("seed", "seed"),
+        ):
+            if shortcut in data:
+                overrides[config_field] = data[shortcut]
+        valid_fields = {f.name for f in fields(SimulationConfig)}
+        bad = sorted(set(overrides) - valid_fields)
+        if bad:
+            raise ValueError(
+                f"unknown config field(s) {bad}; "
+                f"known fields: {sorted(valid_fields)}"
+            )
+        config = replace(SimulationConfig(), **overrides)
+        retries = int(data.get("retries", 0))
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        request_id = data.get("request_id") or request_digest(data)
+        return cls(
+            request_id=str(request_id),
+            policies=policies,
+            chips=chips,
+            population_seed=int(data.get("population_seed", 42)),
+            dark_fractions=fractions,
+            config=config,
+            requirement_ghz=float(data.get("requirement_ghz", 1.0)),
+            baseline=baseline,
+            batch_size=data.get("batch_size", "auto"),
+            retries=retries,
+            allow_partial=bool(data.get("allow_partial", True)),
+            raw=dict(data),
+        )
+
+    @property
+    def job_count(self) -> int:
+        return len(self.policies) * self.chips * len(self.dark_fractions)
+
+
+def request_digest(data: dict) -> str:
+    """Content hash identifying a request (its default ``request_id``)."""
+    canonical = json.dumps(
+        {k: v for k, v in data.items() if k != "request_id"},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def submit_request(root: str, data: dict) -> str:
+    """Drop one request into the fleet spool; returns its request id.
+
+    The write is atomic (tmp + rename in the same directory), so the
+    daemon can never observe a half-written request.
+    """
+    request = FleetRequest.from_dict(data)  # validate before queueing
+    spool = os.path.join(os.fspath(root), _SPOOL)
+    os.makedirs(spool, exist_ok=True)
+    payload = dict(data)
+    payload["request_id"] = request.request_id
+    _atomic_write_json(
+        os.path.join(spool, f"{request.request_id}.json"), payload
+    )
+    return request.request_id
+
+
+def fleet_status(root: str) -> dict:
+    """The fleet's queryable status, daemon running or not.
+
+    Prefers the daemon's ``status.json`` (atomic snapshots, includes
+    live queue depth and throughput); with no status file yet, falls
+    back to scanning the store so ``--status`` works on a cold fleet
+    directory.
+    """
+    root = os.fspath(root)
+    status_path = os.path.join(root, _STATUS)
+    if os.path.exists(status_path):
+        with open(status_path, encoding="utf-8") as handle:
+            return json.load(handle)
+    store_dir = os.path.join(root, _STORE)
+    spool = os.path.join(root, _SPOOL)
+    queued = (
+        len([n for n in os.listdir(spool) if n.endswith(".json")])
+        if os.path.isdir(spool)
+        else 0
+    )
+    if not os.path.isdir(store_dir):
+        return {"jobs_stored": 0, "queue_depth": queued, "aggregates": None}
+    with ResultStore(store_dir) as store:
+        aggregates = aggregate_store(store)
+        return {
+            "jobs_stored": len(store),
+            "queue_depth": queued,
+            "store_bytes": store.bytes_on_disk(),
+            "aggregates": aggregates.to_dict(),
+        }
+
+
+class FleetDaemon:
+    """The ``repro serve`` engine: spool in, store + responses out.
+
+    One instance owns the fleet directory: the request spool, the
+    result store (opened once; its scan doubles as crash recovery), the
+    running aggregates (rebuilt from the store at startup, folded
+    incrementally afterwards — the two paths produce identical state),
+    and the persistent worker pool.  ``workers=1`` runs jobs in-process
+    through the supervisor's serial backend; higher counts provision a
+    spawn pool per campaign digest and keep it warm across requests.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        workers: int = 1,
+        poll_s: float = 0.2,
+        requirement_ghz: float | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.root = os.fspath(root)
+        self.workers = int(workers)
+        self.poll_s = float(poll_s)
+        #: When set, overrides every request's ``requirement_ghz`` —
+        #: useful to pin one MTTF requirement fleet-wide.
+        self.requirement_ghz = requirement_ghz
+        for name in (_SPOOL, _RESULTS, _DONE):
+            os.makedirs(os.path.join(self.root, name), exist_ok=True)
+        self.store = ResultStore(os.path.join(self.root, _STORE))
+        self.aggregates: FleetAggregates = aggregate_store(self.store)
+        self.pool_host = (
+            WorkerPoolHost(self.workers) if self.workers > 1 else None
+        )
+        self.requests_done = 0
+        self.requests_failed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.jobs_failed = 0
+        self._jobs_executed = 0
+        self._busy_s = 0.0
+        self._stop = False
+        self._table = None
+        self._populations: dict[tuple[int, int], object] = {}
+        self._write_status()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the serve loop to exit after the current request."""
+        self._stop = True
+
+    def close(self) -> None:
+        """Release the pool and every store handle."""
+        if self.pool_host is not None:
+            self.pool_host.close()
+        self.store.close()
+
+    def __enter__(self) -> "FleetDaemon":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def serve(
+        self,
+        *,
+        drain: bool = False,
+        max_requests: int | None = None,
+        progress=None,
+    ) -> int:
+        """Poll the spool until stopped; returns requests processed.
+
+        ``drain=True`` exits once the spool is empty (batch shape);
+        ``max_requests`` caps the total (test shape); otherwise the
+        loop runs until :meth:`stop` or the process dies.
+        """
+        processed = 0
+        while not self._stop:
+            handled = self.process_once(progress=progress)
+            processed += handled
+            if max_requests is not None and processed >= max_requests:
+                break
+            if handled == 0:
+                if drain:
+                    break
+                time.sleep(self.poll_s)
+        return processed
+
+    # ------------------------------------------------------------------
+    # queue
+    # ------------------------------------------------------------------
+    def _queued(self) -> list[str]:
+        spool = os.path.join(self.root, _SPOOL)
+        return sorted(
+            name for name in os.listdir(spool) if name.endswith(".json")
+        )
+
+    def process_once(self, progress=None) -> int:
+        """Handle every request currently queued; returns the count."""
+        handled = 0
+        for name in self._queued():
+            if self._stop:
+                break
+            path = os.path.join(self.root, _SPOOL, name)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    data = json.load(handle)
+                request = FleetRequest.from_dict(data)
+            except (ValueError, OSError) as error:
+                self._retire(path, name)
+                self._respond(
+                    os.path.splitext(name)[0],
+                    {"error": f"{type(error).__name__}: {error}"},
+                )
+                self.requests_failed += 1
+                handled += 1
+                self._write_status()
+                continue
+            started = time.monotonic()
+            response = self._run_request(request, progress=progress)
+            self._busy_s += time.monotonic() - started
+            self._respond(request.request_id, response)
+            self._retire(path, name)
+            self.requests_done += 1
+            handled += 1
+            self._write_status()
+        if handled == 0:
+            self._write_status()
+        return handled
+
+    def _retire(self, path: str, name: str) -> None:
+        os.replace(path, os.path.join(self.root, _DONE, name))
+
+    def _respond(self, request_id: str, payload: dict) -> None:
+        _atomic_write_json(
+            os.path.join(self.root, _RESULTS, f"{request_id}.json"), payload
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _population(self, chips: int, seed: int):
+        key = (chips, seed)
+        if key not in self._populations:
+            self._populations[key] = generate_population(chips, seed=seed)
+        return self._populations[key]
+
+    def _run_request(self, request: FleetRequest, progress=None) -> dict:
+        """Run one request: shard per floor, cache-check, simulate, fold.
+
+        Jobs are keyed before anything runs; keys already in the store
+        are cache hits and never dispatch.  The response's aggregates
+        fold the stored records in this canonical key order, so two
+        runs of the same request — including an interrupted-then-
+        resumed one — report byte-identical aggregates.
+        """
+        registry = get_registry()
+        if self._table is None:
+            self._table = default_aging_table()
+        population = self._population(request.chips, request.population_seed)
+        requirement = (
+            self.requirement_ghz
+            if self.requirement_ghz is not None
+            else request.requirement_ghz
+        )
+        policy_objects = {
+            name: FLEET_POLICIES[name]() for name in request.policies
+        }
+
+        all_keys: list[str] = []
+        failures: list = []
+        hits = misses = 0
+        for fraction in request.dark_fractions:
+            config = replace(request.config, dark_fraction_min=fraction)
+            digest = campaign_digest(config, population, self._table)
+            # The MTTF requirement shapes the stored scalars, so it is
+            # part of the job identity: a different requirement must
+            # miss the cache rather than report stale lifetimes.
+            cache_digest = f"{digest}:r{requirement!r}"
+            floor_jobs = []
+            for name in request.policies:
+                policy = policy_objects[name]
+                for chip in population:
+                    key = job_key(
+                        name, chip.chip_id, config.dark_fraction_min,
+                        cache_digest,
+                    )
+                    all_keys.append(key)
+                    if key in self.store:
+                        hits += 1
+                    else:
+                        floor_jobs.append((key, (policy, chip)))
+            misses += len(floor_jobs)
+            if not floor_jobs:
+                continue
+            failures.extend(
+                self._run_floor(
+                    config, floor_jobs, request, digest, requirement, progress
+                )
+            )
+        registry.inc("fleet.cache_hits", hits)
+        registry.inc("fleet.cache_misses", misses)
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.jobs_failed += len(failures)
+
+        aggregates = aggregate_store(self.store, keys=all_keys)
+        response = {
+            "request_id": request.request_id,
+            "jobs": request.job_count,
+            "cache_hits": hits,
+            "simulated": misses,
+            "failures": [
+                {
+                    "policy": f.policy_name,
+                    "chip": f.chip_id,
+                    "dark": f.dark_fraction_min,
+                    "kind": f.kind,
+                    "message": f.message,
+                    "attempts": f.attempts,
+                }
+                for f in failures
+            ],
+            "requirement_ghz": requirement,
+            "aggregates": aggregates.to_dict(baseline=request.baseline),
+        }
+        return response
+
+    def _run_floor(
+        self, config, floor_jobs, request, digest, requirement, progress
+    ) -> list:
+        """Simulate one dark floor's uncached jobs, streaming to store."""
+        keys = [key for key, _ in floor_jobs]
+        jobs = [job for _, job in floor_jobs]
+        shared = build_shared(
+            config,
+            self._table,
+            self._population(request.chips, request.population_seed),
+            isolate_metrics=True,
+        )
+        # The parent runs serial jobs and warms identically to workers.
+        _init_worker(shared)
+        if self.pool_host is not None:
+            self.pool_host.ensure(shared, signature=digest)
+
+        def on_result(index, job, result) -> None:
+            record = self.store.append(
+                keys[index], result, requirement_ghz=requirement
+            )
+            # Fold the exact appended record (same JSON round-trip as a
+            # store re-read), keeping incremental aggregates equal to a
+            # from-disk rebuild.
+            self.aggregates.fold_record(
+                json.loads(json.dumps(record)),
+                self.store.block(record, "final_health"),
+            )
+            self._jobs_executed += 1
+
+        _, failures = run_supervised_jobs(
+            jobs,
+            shared,
+            config=config,
+            workers=self.workers,
+            retries=request.retries,
+            allow_partial=request.allow_partial,
+            progress=progress,
+            batch_size=_resolve_request_batch(request.batch_size),
+            pool_host=self.pool_host,
+            on_result=on_result,
+        )
+        # Failed (empty-lifetime) slots are not stored: their keys stay
+        # absent so a retry request re-simulates them.
+        return failures
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    def _write_status(self) -> None:
+        registry = get_registry()
+        queued = len(self._queued())
+        rate = self._jobs_executed / self._busy_s if self._busy_s > 0 else 0.0
+        registry.gauge("fleet.queue_depth", queued)
+        registry.gauge("fleet.jobs_per_s", rate)
+        _atomic_write_json(
+            os.path.join(self.root, _STATUS),
+            {
+                "queue_depth": queued,
+                "jobs_stored": len(self.store),
+                "store_bytes": self.store.bytes_on_disk(),
+                "requests_done": self.requests_done,
+                "requests_failed": self.requests_failed,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "jobs_failed": self.jobs_failed,
+                "jobs_per_s": rate,
+                "workers": self.workers,
+                "aggregates": self.aggregates.to_dict(),
+            },
+        )
+
+
+def _resolve_request_batch(batch_size):
+    """Map a request's batch knob onto the supervisor's (int or None).
+
+    Requests say ``"auto"`` (default), ``null``, or an int; the
+    supervisor wants an int or ``None``.  Auto in the daemon is a flat
+    cap — the per-request population is small and grouping happens in
+    :func:`~repro.sim.supervisor._form_units` anyway.
+    """
+    if batch_size is None:
+        return None
+    if batch_size == "auto":
+        return 8
+    size = int(batch_size)
+    if size < 1:
+        raise ValueError("batch_size must be >= 1, 'auto', or null")
+    return size

@@ -1,0 +1,280 @@
+"""Append-only columnar result store for fleet campaigns.
+
+A million-job fleet cannot hold a million
+:class:`~repro.sim.results.LifetimeResult` objects: each carries every
+epoch's temperature/duty/health arrays.  The store keeps the fleet's
+memory O(aggregate) by writing each completed job to disk the moment it
+finishes and keeping only a tiny in-memory index:
+
+``scalars.jsonl``
+    One line per job: format version, the content-addressed job key
+    (:func:`repro.sim.checkpoint.job_key`), the scalar summary every
+    aggregate needs (:func:`result_scalars`), and a block table of
+    ``name -> [byte offset, element count]`` pointers into the blocks
+    file.
+``blocks.bin``
+    Raw little-endian ``float32`` trajectory blocks (per-epoch average
+    frequency, the final health map), concatenated.  Compact — a
+    20-epoch, 64-core job is ~336 bytes — and random-accessible via the
+    scalar line's offsets.
+
+Blocks are written *before* the scalar line that references them, so a
+crash can never publish a record whose payload is missing; a torn final
+scalar line is the dirty-shutdown signature (skipped on load, its job
+re-runs, the orphaned block bytes stay unreferenced and harmless).
+Scalar lines flow through the checkpoint layer's
+:class:`~repro.sim.checkpoint.DurableAppender` — one held ``O_APPEND``
+handle, one write + fsync per record.
+
+The store doubles as the fleet's content-addressed result cache: a job
+key already present answers a re-submission without re-simulating
+(``key in store`` / :meth:`ResultStore.record`).  The in-memory index
+is ``key -> (offset, length)`` only — ~100 bytes per job, while results
+themselves stay on disk.  One process writes at a time (the daemon);
+concurrent *readers* are safe because records are immutable once
+written.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import warnings
+
+import numpy as np
+
+from repro.obs import get_registry
+from repro.sim.checkpoint import DurableAppender
+from repro.sim.results import LifetimeResult
+from repro.util.constants import AMBIENT_KELVIN
+
+#: Format marker of scalar lines; bumped on layout changes so an old
+#: store degrades to "no usable records" instead of mis-parsing.
+STORE_VERSION = 1
+
+#: Block names every record carries (missing data stores empty blocks).
+BLOCK_NAMES = ("avg_fmax", "final_health")
+
+
+def _json_safe(value: float) -> float | None:
+    """``None`` for non-finite floats (strict-JSON friendly)."""
+    return None if (value is None or not math.isfinite(value)) else float(value)
+
+
+def result_scalars(result: LifetimeResult, *, requirement_ghz: float) -> dict:
+    """The per-job scalar summary the fleet aggregates are built from.
+
+    This is the *single* fold input shared by the daemon's streaming
+    store and one-shot campaign aggregation
+    (:func:`repro.sim.fleet.aggregates.aggregate_campaign`), so both
+    report identical numbers for identical jobs.
+    """
+    years = result.years()
+    return {
+        "chip_id": result.chip_id,
+        "policy": result.policy_name,
+        "dark": float(result.dark_fraction_min),
+        "epochs": len(result.epochs),
+        "cores": int(result.fmax_init_ghz.size),
+        "dtm_events": int(result.total_dtm_events()),
+        "dtm_migrations": int(result.total_dtm_migrations()),
+        "qos_violations": int(result.total_qos_violations()),
+        "temp_rise_k": _json_safe(result.mean_temp_rise_k(AMBIENT_KELVIN)),
+        "chip_aging_rate": _json_safe(result.chip_fmax_aging_rate()),
+        "avg_aging_rate": _json_safe(result.avg_fmax_aging_rate()),
+        "lifetime_years": float(years[-1]) if years.size else 0.0,
+        "mttf_years": _json_safe(
+            result.lifetime_at_requirement_years(requirement_ghz)
+        ),
+        "requirement_ghz": float(requirement_ghz),
+        "mean_comm": _json_safe(result.mean_comm_cost()),
+    }
+
+
+def result_blocks(result: LifetimeResult) -> dict[str, np.ndarray]:
+    """The compact ``float32`` trajectory blocks stored per job."""
+    final_health = (
+        result.epochs[-1].health_after if result.epochs else np.empty(0)
+    )
+    return {
+        "avg_fmax": np.asarray(
+            result.avg_fmax_trajectory_ghz(), dtype=np.float32
+        ),
+        "final_health": np.asarray(final_health, dtype=np.float32),
+    }
+
+
+class ResultStore:
+    """Append-only columnar store of completed fleet jobs.
+
+    Opening scans ``scalars.jsonl`` once to build the key index (line
+    offsets only; the records stay on disk).  Like the checkpoint
+    loader, a torn final line is tolerated silently
+    (:attr:`truncated_tail`) while mid-file corruption is counted in
+    :attr:`skipped_lines` / the ``fleet.store_skipped_lines`` obs
+    counter and warned about with its line number.  Duplicate keys keep
+    the *last* record, so a re-appended job (crash between block and
+    scalar writes) self-heals.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.scalars_path = os.path.join(self.directory, "scalars.jsonl")
+        self.blocks_path = os.path.join(self.directory, "blocks.bin")
+        self._index: dict[str, tuple[int, int]] = {}
+        self.skipped_lines = 0
+        self.truncated_tail = False
+        self._scan()
+        self._scalars = DurableAppender(self.scalars_path)
+        self._blocks = DurableAppender(self.blocks_path, line_framed=False)
+        self._read_handle = None
+        self._blocks_handle = None
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def _scan(self) -> None:
+        if not os.path.exists(self.scalars_path):
+            return
+        with open(self.scalars_path, "rb") as handle:
+            lines = handle.readlines()
+        registry = get_registry()
+        offset = 0
+        for number, raw in enumerate(lines, start=1):
+            stripped = raw.strip()
+            if stripped:
+                try:
+                    data = json.loads(stripped)
+                    if data.get("version") == STORE_VERSION:
+                        self._index[data["key"]] = (offset, len(raw))
+                except (ValueError, KeyError, TypeError):
+                    if number == len(lines):
+                        self.truncated_tail = True
+                    else:
+                        self.skipped_lines += 1
+                        registry.inc("fleet.store_skipped_lines")
+                        warnings.warn(
+                            f"result store {self.scalars_path}: skipping "
+                            f"malformed record at line {number} of "
+                            f"{len(lines)} (mid-file corruption); its job "
+                            "will re-simulate",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+            offset += len(raw)
+
+    # ------------------------------------------------------------------
+    # the content-addressed cache face
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self):
+        """The stored job keys (insertion order of the index)."""
+        return self._index.keys()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(
+        self, key: str, result: LifetimeResult, *, requirement_ghz: float
+    ) -> dict:
+        """Durably store one completed job; returns its record dict.
+
+        The returned record is byte-equivalent to what a later
+        :meth:`record` read returns (JSON round-trips floats exactly),
+        so incremental aggregates folded from it match aggregates
+        rebuilt from the store.
+        """
+        blocks = {}
+        for name, array in result_blocks(result).items():
+            data = array.tobytes()
+            block_offset = self._blocks.append(data) if data else 0
+            blocks[name] = [block_offset, int(array.size)]
+        record = {
+            "version": STORE_VERSION,
+            "key": key,
+            "scalars": result_scalars(result, requirement_ghz=requirement_ghz),
+            "blocks": blocks,
+        }
+        raw = (json.dumps(record) + "\n").encode()
+        offset = self._scalars.append(raw)
+        self._index[key] = (offset, len(raw))
+        get_registry().inc("fleet.jobs_stored")
+        return record
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def record(self, key: str) -> dict | None:
+        """The stored record for ``key`` (``None`` when not stored)."""
+        location = self._index.get(key)
+        if location is None:
+            return None
+        offset, length = location
+        if self._read_handle is None:
+            self._read_handle = open(self.scalars_path, "rb")
+        self._read_handle.seek(offset)
+        return json.loads(self._read_handle.read(length))
+
+    def block(self, record: dict, name: str) -> np.ndarray:
+        """One trajectory block of ``record`` as a ``float32`` array."""
+        offset, count = record["blocks"][name]
+        if count == 0:
+            return np.empty(0, dtype=np.float32)
+        if self._blocks_handle is None:
+            self._blocks_handle = open(self.blocks_path, "rb")
+        self._blocks_handle.seek(offset)
+        data = self._blocks_handle.read(4 * count)
+        return np.frombuffer(data, dtype=np.float32)
+
+    def records(self):
+        """Stream every stored record in on-disk (completion) order.
+
+        Reads the file line by line — O(1) resident memory however many
+        jobs are stored.  Superseded duplicates are yielded too (rare;
+        the index, not this stream, is the dedup authority), so callers
+        rebuilding exact state should fold via :meth:`record` instead.
+        """
+        if not os.path.exists(self.scalars_path):
+            return
+        with open(self.scalars_path, "rb") as handle:
+            for raw in handle:
+                stripped = raw.strip()
+                if not stripped:
+                    continue
+                try:
+                    data = json.loads(stripped)
+                except ValueError:
+                    continue
+                if data.get("version") == STORE_VERSION and "key" in data:
+                    yield data
+
+    def bytes_on_disk(self) -> int:
+        """Total store footprint (scalar lines + blocks)."""
+        total = 0
+        for path in (self.scalars_path, self.blocks_path):
+            if os.path.exists(path):
+                total += os.path.getsize(path)
+        return total
+
+    def close(self) -> None:
+        """Release all held handles (reopened lazily when used again)."""
+        self._scalars.close()
+        self._blocks.close()
+        for attribute in ("_read_handle", "_blocks_handle"):
+            handle = getattr(self, attribute)
+            if handle is not None:
+                handle.close()
+                setattr(self, attribute, None)
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

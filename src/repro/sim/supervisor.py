@@ -40,6 +40,14 @@ innocents complete (and checkpoint) individually and only the true
 culprit becomes a :class:`JobFailure`, with the same ``attempts``
 accounting a never-batched run would report.
 
+Dispatch is queue-shaped: units drain from a deque (demoted singletons
+cut in at the front), and two hooks exist for long-running callers —
+``on_result`` streams each completed job out as it lands (the fleet
+daemon's store path, instead of waiting for the returned list), and
+``pool_host`` lends a caller-owned :class:`WorkerPoolHost` so a daemon
+keeps one warm spawn pool across many supervised runs of the same
+campaign invariants instead of rebuilding it per request.
+
 Failure telemetry flows through :mod:`repro.obs`:
 ``campaign.retries`` (re-attempts dispatched), ``campaign.job_failures``
 (jobs exhausted), ``campaign.resumed_jobs`` (jobs skipped thanks to a
@@ -53,6 +61,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from collections import deque
 from dataclasses import dataclass
 
 from repro.obs import MetricsRegistry, get_registry, use_registry
@@ -234,6 +243,84 @@ class CampaignJobError(RuntimeError):
         self.failure = failure
 
 
+class WorkerPoolHost:
+    """A reusable spawn pool provisioned with campaign invariants.
+
+    A one-shot campaign builds a pool, runs, and tears it down.  A
+    fleet daemon runs many campaigns back to back; rebuilding the pool
+    (and re-shipping the table/config through the initializer) per
+    request throws the warm workers away.  A host owns the pool
+    *across* :func:`run_supervised_jobs` calls:
+
+    * :meth:`ensure` provisions the pool for a campaign's shared
+      invariants and is a no-op while the provisioning ``signature``
+      (e.g. the campaign digest) is unchanged — so back-to-back
+      requests of the same campaign reuse warm workers, and a request
+      with different invariants transparently rebuilds.
+    * :meth:`rebuild` replaces a compromised pool (the supervisor's
+      timeout path) with a fresh one under the same invariants.
+    * :meth:`close` tears the pool down (the daemon calls it on stop;
+      an unclosed host's pool dies with the process).
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self._context = multiprocessing.get_context("spawn")
+        self._pool = None
+        self._shared: dict | None = None
+        self._signature: object = None
+
+    @property
+    def pool(self):
+        """The live pool (``ensure`` must have provisioned it)."""
+        if self._pool is None:
+            raise RuntimeError("pool host not provisioned; call ensure()")
+        return self._pool
+
+    @property
+    def shared(self) -> dict | None:
+        """The invariants the current pool's workers were built with."""
+        return self._shared
+
+    def ensure(self, shared: dict, signature=None) -> None:
+        """Provision the pool for ``shared``; reuse it when ``signature``
+        matches the live pool's (``None`` never matches: always fresh)."""
+        if (
+            self._pool is not None
+            and signature is not None
+            and signature == self._signature
+        ):
+            self._shared = shared
+            return
+        self.close()
+        self._shared = shared
+        self._signature = signature
+        self._pool = self._context.Pool(
+            self.workers, initializer=_init_worker, initargs=(self._shared,)
+        )
+
+    def rebuild(self) -> None:
+        """Replace a hung/compromised pool, same invariants."""
+        if self._shared is None:
+            raise RuntimeError("cannot rebuild before ensure()")
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+        self._pool = self._context.Pool(
+            self.workers, initializer=_init_worker, initargs=(self._shared,)
+        )
+
+    def close(self) -> None:
+        """Tear the pool down (the next ensure() builds a fresh one)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._signature = None
+
+
 def empty_lifetime(policy, chip, config) -> LifetimeResult:
     """The degraded stand-in for a failed job: zero epochs, same chip.
 
@@ -309,6 +396,8 @@ def run_supervised_jobs(
     digest: str | None = None,
     progress=None,
     batch_size: int | None = None,
+    pool_host: WorkerPoolHost | None = None,
+    on_result=None,
 ) -> tuple[list[LifetimeResult], list[JobFailure]]:
     """Run ``jobs`` (a list of ``(policy, chip)``) under supervision.
 
@@ -317,6 +406,17 @@ def run_supervised_jobs(
     the module docstring for the semantics of each knob;
     ``batch_size=None`` (the default) dispatches per-chip singleton
     units exactly as before batching existed.
+
+    ``pool_host`` lends a caller-owned :class:`WorkerPoolHost` (already
+    ``ensure``-provisioned with this campaign's ``shared``) to the
+    pooled backend instead of an ephemeral pool — the fleet daemon's
+    persistent-pool path.  The host is left running on return.
+
+    ``on_result`` is a streaming sink called once per completed job as
+    ``on_result(index, (policy, chip), result)``, after the job is
+    checkpointed but before the call returns — the hook the fleet
+    daemon uses to append jobs to its result store instead of keeping
+    them only in the returned list.
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
@@ -364,6 +464,8 @@ def run_supervised_jobs(
                 )
             registry.inc("campaign.jobs_executed")
             results[index] = result
+            if on_result is not None:
+                on_result(index, state.jobs[offset], result)
 
     def record_exhaustion(state: _UnitState, kind: str, message: str) -> None:
         policy, chip = state.jobs[0]
@@ -391,7 +493,7 @@ def run_supervised_jobs(
             singles.append(single)
         return singles
 
-    use_pool = workers > 1 or job_timeout_s is not None
+    use_pool = workers > 1 or job_timeout_s is not None or pool_host is not None
     if use_pool:
         _run_pooled(
             units,
@@ -404,6 +506,7 @@ def run_supervised_jobs(
             record_success=record_success,
             record_exhaustion=record_exhaustion,
             demote=demote,
+            pool_host=pool_host,
         )
     else:
         _run_serial(
@@ -428,10 +531,15 @@ def _run_serial(
     record_exhaustion,
     demote,
 ) -> None:
-    """In-process backend: units run one by one, attempts loop inline."""
-    pending = list(states)
+    """In-process backend: a unit queue drained one dispatch at a time.
+
+    The queue (not a fixed list) is what lets demoted singletons cut in
+    at the front and, in the daemon, lets callers keep feeding units
+    while earlier ones run.
+    """
+    pending = deque(states)
     while pending:
-        state = pending.pop(0)
+        state = pending.popleft()
         if progress is not None and not state.announced:
             for policy, chip in state.jobs:
                 progress(policy.name, chip.chip_id)
@@ -445,7 +553,7 @@ def _run_serial(
                     registry.inc("campaign.retries")
                     continue
                 if len(state.jobs) > 1:
-                    pending[0:0] = demote(state)
+                    pending.extendleft(reversed(demote(state)))
                     break
                 record_exhaustion(
                     state, "error", f"{type(error).__name__}: {error}"
@@ -467,6 +575,7 @@ def _run_pooled(
     record_success,
     record_exhaustion,
     demote,
+    pool_host=None,
 ) -> None:
     """Spawn-pool backend with per-unit deadlines and pool resurrection.
 
@@ -479,17 +588,32 @@ def _run_pooled(
     without charging them an attempt.  A multi-chip unit that exhausts
     its retries (error or timeout) is demoted to singleton units at the
     front of the queue rather than failed outright.
+
+    The pool lives in a :class:`WorkerPoolHost`.  Without ``pool_host``
+    an ephemeral host is built here and torn down on return (the
+    one-shot campaign shape).  With ``pool_host`` the caller owns the
+    pool's lifetime and must have :meth:`WorkerPoolHost.ensure`-d it
+    with *this* campaign's ``shared`` — the daemon's persistent-pool
+    path; timeouts still rebuild through the host, and the host stays
+    alive on return.
     """
-    context = multiprocessing.get_context("spawn")
-    pending = list(states)  # FIFO via pop(0); campaign scale is small
+    owned = pool_host is None
+    host = WorkerPoolHost(workers) if owned else pool_host
+    if owned:
+        host.ensure(shared)
+    elif host.shared is not shared:
+        raise ValueError(
+            "pool_host was provisioned with different shared invariants; "
+            "call ensure(shared, signature) for this campaign first"
+        )
+    pending = deque(states)
     inflight: dict[int, tuple] = {}  # key -> (async_result, deadline, state)
-    pool = context.Pool(workers, initializer=_init_worker, initargs=(shared,))
     try:
         while pending or inflight:
-            while pending and len(inflight) < workers:
-                state = pending.pop(0)
+            while pending and len(inflight) < host.workers:
+                state = pending.popleft()
                 state.attempts += 1
-                async_result = pool.apply_async(
+                async_result = host.pool.apply_async(
                     _pool_entry, ((state.indices[0], state.jobs),)
                 )
                 deadline = (
@@ -512,16 +636,17 @@ def _run_pooled(
                     if deadline is not None and now > deadline
                 ]
                 if expired:
-                    # The pool is compromised: replace it wholesale.
-                    pool.terminate()
-                    pool.join()
+                    # The pool is compromised: tear it down first so a
+                    # fail-fast exhaustion below never leaves hung
+                    # workers behind, then replace it wholesale.
+                    host.close()
                     for key, (_, _, state) in list(inflight.items()):
                         if key in expired:
                             if state.attempts <= retries:
                                 registry.inc("campaign.retries")
-                                pending.insert(0, state)
+                                pending.appendleft(state)
                             elif len(state.jobs) > 1:
-                                pending[0:0] = demote(state)
+                                pending.extendleft(reversed(demote(state)))
                             else:
                                 record_exhaustion(
                                     state,
@@ -533,11 +658,9 @@ def _run_pooled(
                             # Innocent bystander: its worker died with
                             # the pool; re-run without charging a retry.
                             state.attempts -= 1
-                            pending.insert(0, state)
+                            pending.appendleft(state)
                     inflight.clear()
-                    pool = context.Pool(
-                        workers, initializer=_init_worker, initargs=(shared,)
-                    )
+                    host.rebuild()
                 else:
                     # Block briefly on one in-flight result; any other
                     # completion is picked up by the next scan.
@@ -555,11 +678,11 @@ def _run_pooled(
                     state.announced = True
                 elif state.attempts <= retries:
                     registry.inc("campaign.retries")
-                    pending.insert(0, state)
+                    pending.appendleft(state)
                 elif len(state.jobs) > 1:
-                    pending[0:0] = demote(state)
+                    pending.extendleft(reversed(demote(state)))
                 else:
                     record_exhaustion(state, "error", payload)
     finally:
-        pool.terminate()
-        pool.join()
+        if owned:
+            host.close()

@@ -62,7 +62,13 @@ class SweepResult:
             ) from None
         out = []
         for fraction in self.fractions:
-            values = getter(self.campaigns[fraction])
+            campaign = self.campaigns.get(fraction)
+            if campaign is None:
+                raise ValueError(
+                    f"no campaign recorded for dark fraction {fraction!r}; "
+                    f"recorded floors: {sorted(self.campaigns)}"
+                )
+            values = getter(campaign)
             out.append(float(values.mean()) if values.size else float("nan"))
         return np.array(out)
 

@@ -131,6 +131,21 @@ class TestAggregationEdgeCases:
         campaign.results["hayat"] = [other for _, other in pairs]
         return campaign
 
+    def test_dtm_normalization_reads_baseline_total_once(self):
+        """Regression: ``normalized_dtm_events`` called the baseline's
+        ``total_dtm_events()`` twice per chip (guard + ratio); the total
+        is a per-epoch sum, so large campaigns paid it double.  Pin the
+        hoist by counting calls on the baseline result."""
+        base = synthetic_result("vaa")
+        other = synthetic_result("hayat")
+        calls = []
+        original = base.total_dtm_events
+        base.total_dtm_events = lambda: calls.append(1) or original()
+        campaign = self._campaign([(base, other)])
+        values = campaign.normalized_dtm_events("vaa", "hayat")
+        assert values.shape == (1,)
+        assert len(calls) == 1
+
     def test_zero_baseline_temp_rise_skipped(self):
         """Regression: a baseline at/below ambient yielded inf/nan that
         poisoned the sweep-level means."""

@@ -1,6 +1,13 @@
 """Checkpoint/resume: durable campaign jobs, bit-identical resumes."""
 
 import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
 
 import numpy as np
 import pytest
@@ -15,7 +22,12 @@ from repro.sim import (
     job_key,
     run_campaign,
 )
-from repro.sim.checkpoint import snapshot_from_dict, snapshot_to_dict
+from repro.sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    DurableAppender,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
 from repro.sim.export import result_to_dict
 from repro.variation import generate_population
 from tests.test_sim_supervisor import AlwaysCrashPolicy, tiny_config
@@ -31,6 +43,20 @@ class InterruptedHayat(AlwaysCrashPolicy):
 @pytest.fixture(scope="module")
 def pieces(aging_table):
     return tiny_config(), generate_population(3, seed=29), aging_table
+
+
+def _record_payload(key: str) -> dict:
+    """A minimal valid version-current checkpoint record."""
+    return {
+        "version": CHECKPOINT_VERSION,
+        "key": key,
+        "result": {
+            "chip_id": "c", "policy_name": "p",
+            "dark_fraction_min": 0.5, "fmax_init_ghz": [1.0],
+            "epochs": [],
+        },
+        "snapshot": None,
+    }
 
 
 class TestDigestAndKeys:
@@ -54,6 +80,54 @@ class TestDigestAndKeys:
     def test_job_key_fields(self):
         key = job_key("hayat", "chip-02", 0.25, "abc123")
         assert key == "hayat|chip-02|0.25|abc123"
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """A config-shaped dataclass with an array field, for digest tests
+    (``campaign_digest`` hashes any dataclass's fields)."""
+
+    grid: np.ndarray
+    scale: float = 1.0
+
+
+class TestCanonicalDigest:
+    """Regression pins for the repr-hashing bug: the digest must encode
+    values canonically, never through ``repr``."""
+
+    def test_arrays_sharing_a_truncated_repr_get_distinct_digests(self):
+        # Large arrays elide their middle in repr: these two differ only
+        # inside the elided region, so their reprs are identical and the
+        # old repr-based digest served one's cached results for the
+        # other.
+        a = np.zeros(10_000)
+        b = np.zeros(10_000)
+        b[5_000] = 1.0
+        assert repr(a) == repr(b)
+        assert campaign_digest(ArrayConfig(a)) != campaign_digest(
+            ArrayConfig(b)
+        )
+
+    def test_digest_is_printoptions_stable(self):
+        cfg = ArrayConfig(np.linspace(0.0, 1.0, 2_000))
+        reference = campaign_digest(cfg)
+        with np.printoptions(threshold=5, precision=2):
+            assert campaign_digest(cfg) == reference
+
+    def test_container_fields_hash_structurally(self):
+        # Same leaves, different nesting: a flat concatenation of the
+        # encodings must not collide these.
+        one = campaign_digest(ArrayConfig(np.array([1.0, 2.0])))
+        other = campaign_digest(ArrayConfig(np.array([1.0]), scale=2.0))
+        assert one != other
+
+    def test_bool_and_int_do_not_collide(self):
+        @dataclass(frozen=True)
+        class Flag:
+            value: object
+
+        assert campaign_digest(Flag(True)) != campaign_digest(Flag(1))
+        assert campaign_digest(Flag(False)) != campaign_digest(Flag(0))
 
 
 class TestSnapshotRoundTrip:
@@ -95,21 +169,28 @@ class TestStore:
 
     def test_truncated_final_line_is_skipped(self, tmp_path):
         path = tmp_path / "ckpt.jsonl"
-        good = json.dumps(
-            {
-                "version": 1,
-                "key": "k",
-                "result": {
-                    "chip_id": "c", "policy_name": "p",
-                    "dark_fraction_min": 0.5, "fmax_init_ghz": [1.0],
-                    "epochs": [],
-                },
-                "snapshot": None,
-            }
-        )
+        good = json.dumps(_record_payload("k"))
         path.write_text(good + "\n" + good[: len(good) // 2])
         store = CampaignCheckpoint(str(path))
         assert len(store) == 1 and "k" in store
+        # A torn tail is the expected dirty-shutdown signature, not
+        # corruption: flagged, but never counted or warned about.
+        assert store.truncated_tail
+        assert store.skipped_lines == 0
+
+    def test_midfile_corruption_is_counted_and_warned(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        good = json.dumps(_record_payload("k"))
+        corrupt = good[: len(good) // 2]
+        path.write_text(corrupt + "\n" + good + "\n")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with pytest.warns(RuntimeWarning, match="line 1 of 2"):
+                store = CampaignCheckpoint(str(path))
+        assert len(store) == 1 and "k" in store
+        assert store.skipped_lines == 1
+        assert not store.truncated_tail
+        assert registry.counter("checkpoint.skipped_lines") == 1
 
     def test_unknown_version_is_ignored(self, tmp_path):
         path = tmp_path / "ckpt.jsonl"
@@ -245,3 +326,110 @@ class TestResume:
             )
         assert registry.counter("campaign.resumed_jobs") == 6
         assert registry.counter("campaign.jobs_executed") == 0
+
+
+def _torture_writer(path: str, writer: int, count: int) -> None:
+    """One concurrent appender (runs in a spawned process)."""
+    appender = DurableAppender(path)
+    for index in range(count):
+        # Varying lengths shake out partial-write interleaving.
+        payload = {"writer": writer, "index": index, "pad": "x" * (index % 37)}
+        appender.append((json.dumps(payload) + "\n").encode())
+    appender.close()
+
+
+class TestDurableAppender:
+    def test_multi_writer_torture(self, tmp_path):
+        """N processes hammer one file through O_APPEND handles: every
+        record must land whole — no splicing, no loss."""
+        path = str(tmp_path / "torture.jsonl")
+        writers, count = 3, 40
+        context = multiprocessing.get_context("spawn")
+        procs = [
+            context.Process(target=_torture_writer, args=(path, w, count))
+            for w in range(writers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        seen = set()
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)  # any torn line would raise
+                assert record["pad"] == "x" * (record["index"] % 37)
+                seen.add((record["writer"], record["index"]))
+        assert seen == {
+            (w, i) for w in range(writers) for i in range(count)
+        }
+
+    def test_kill_mid_append_loses_at_most_the_torn_tail(self, tmp_path):
+        """SIGKILL a process that is appending checkpoint records in a
+        tight loop: on reload, every complete line is a valid record and
+        nothing is classified as mid-file corruption."""
+        path = str(tmp_path / "killed.jsonl")
+        script = (
+            "import json, sys\n"
+            "from repro.sim.checkpoint import CHECKPOINT_VERSION, DurableAppender\n"
+            "appender = DurableAppender(sys.argv[1])\n"
+            "i = 0\n"
+            "while True:\n"
+            "    payload = {'version': CHECKPOINT_VERSION, 'key': f'k{i}',\n"
+            "               'result': {'chip_id': 'c', 'policy_name': 'p',\n"
+            "                          'dark_fraction_min': 0.5,\n"
+            "                          'fmax_init_ghz': [1.0], 'epochs': []},\n"
+            "               'snapshot': None}\n"
+            "    appender.append((json.dumps(payload) + '\\n').encode())\n"
+            "    i += 1\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.abspath(src), env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen([sys.executable, "-c", script, path], env=env)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if os.path.exists(path) and os.path.getsize(path) > 500:
+                break
+            time.sleep(0.02)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+        store = CampaignCheckpoint(path)
+        assert len(store) >= 1
+        assert store.skipped_lines == 0  # only the tail may be torn
+
+    def test_append_after_torn_tail_repairs_framing(self, tmp_path, pieces):
+        """A new record appended after a dirty shutdown must not fuse
+        with the torn line: both the old intact records and the new one
+        survive the next load."""
+        cfg, population, table = pieces
+        campaign = run_campaign(
+            [HayatManager()], config=cfg,
+            population=generate_population(1, seed=29), table=table,
+        )
+        result = campaign.results["hayat"][0]
+        path = str(tmp_path / "torn.jsonl")
+        good = json.dumps(_record_payload("old"))
+        with open(path, "w") as handle:
+            handle.write(good + "\n" + good[: len(good) // 2])
+        store = CampaignCheckpoint(path)
+        assert store.truncated_tail and len(store) == 1
+        store.append("new", result, None)
+        store.close()
+        # The repaired file now holds the torn fragment as a complete
+        # mid-file line: the reload classifies it as corruption (warned,
+        # counted) while both real records survive.
+        with pytest.warns(RuntimeWarning, match="mid-file corruption"):
+            reloaded = CampaignCheckpoint(path)
+        assert "old" in reloaded and "new" in reloaded
+        assert reloaded.skipped_lines == 1
+
+    def test_offset_tracking_matches_file(self, tmp_path):
+        path = str(tmp_path / "offsets.bin")
+        appender = DurableAppender(path, line_framed=False)
+        offsets = [appender.append(b"x" * n) for n in (3, 5, 7)]
+        appender.close()
+        assert offsets == [0, 3, 8]
+        assert os.path.getsize(path) == 15

@@ -1,0 +1,435 @@
+"""Fleet service: result store, running aggregates, daemon lifecycle.
+
+The subprocess tests (SIGKILL mid-run) spawn the CLI daemon against a
+tmp fleet directory; everything else drives the daemon in-process with
+``drain=True`` so no test ever polls an empty spool.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.sim import SimulationConfig, run_campaign
+from repro.sim.fleet import (
+    FleetDaemon,
+    FleetRequest,
+    ResultStore,
+    aggregate_campaign,
+    aggregate_store,
+    fleet_status,
+    result_blocks,
+    result_scalars,
+    submit_request,
+)
+from repro.sim.fleet.aggregates import Histogram, RunningStat
+from repro.baselines import VAAManager
+from repro.core import HayatManager
+from repro.variation import generate_population
+from tests.test_sim_supervisor import tiny_config
+
+
+def fleet_request(**overrides) -> dict:
+    """The canonical tiny fleet request the daemon tests share."""
+    request = {
+        "policies": ["vaa", "hayat"],
+        "chips": 2,
+        "dark_fractions": [0.5],
+        "years": 0.5,
+        "config": {"epoch_years": 0.5, "window_s": 3.0},
+        "seed": 3,
+        "baseline": "vaa",
+    }
+    request.update(overrides)
+    return request
+
+
+@pytest.fixture(scope="module")
+def lifetime_results(aging_table):
+    campaign = run_campaign(
+        [VAAManager(), HayatManager()],
+        config=tiny_config(),
+        population=generate_population(2, seed=29),
+        table=aging_table,
+    )
+    return campaign
+
+
+class TestResultStore:
+    def test_append_then_reopen_round_trips(self, lifetime_results, tmp_path):
+        result = lifetime_results.results["hayat"][0]
+        with ResultStore(str(tmp_path / "store")) as store:
+            record = store.append("job-a", result, requirement_ghz=1.0)
+        with ResultStore(str(tmp_path / "store")) as reopened:
+            assert len(reopened) == 1 and "job-a" in reopened
+            back = reopened.record("job-a")
+            assert back == json.loads(json.dumps(record))
+            expected = json.loads(
+                json.dumps(result_scalars(result, requirement_ghz=1.0))
+            )
+            assert back["scalars"] == expected
+            for name, block in result_blocks(result).items():
+                np.testing.assert_array_equal(
+                    reopened.block(back, name), block
+                )
+
+    def test_missing_key_is_none(self, tmp_path):
+        with ResultStore(str(tmp_path / "store")) as store:
+            assert store.record("nope") is None
+            assert "nope" not in store
+
+    def test_torn_tail_is_silent_midfile_corruption_is_not(
+        self, lifetime_results, tmp_path
+    ):
+        result = lifetime_results.results["hayat"][0]
+        directory = str(tmp_path / "store")
+        with ResultStore(directory) as store:
+            store.append("a", result, requirement_ghz=1.0)
+            store.append("b", result, requirement_ghz=1.0)
+        scalars = os.path.join(directory, "scalars.jsonl")
+        lines = open(scalars, "rb").read().splitlines(keepends=True)
+        # Torn final line: silent (dirty shutdown).
+        with open(scalars, "wb") as handle:
+            handle.write(lines[0] + lines[1][: len(lines[1]) // 2])
+        with ResultStore(directory) as store:
+            assert len(store) == 1 and store.truncated_tail
+            assert store.skipped_lines == 0
+        # Same torn bytes mid-file: corruption, counted and warned.
+        with open(scalars, "wb") as handle:
+            handle.write(lines[1][: len(lines[1]) // 2] + b"\n" + lines[0])
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with pytest.warns(RuntimeWarning, match="mid-file corruption"):
+                with ResultStore(directory) as store:
+                    assert len(store) == 1
+                    assert store.skipped_lines == 1
+        assert registry.counter("fleet.store_skipped_lines") == 1
+
+    def test_duplicate_key_keeps_last_record(self, lifetime_results, tmp_path):
+        first = lifetime_results.results["hayat"][0]
+        second = lifetime_results.results["hayat"][1]
+        with ResultStore(str(tmp_path / "store")) as store:
+            store.append("k", first, requirement_ghz=1.0)
+            store.append("k", second, requirement_ghz=1.0)
+            assert len(store) == 1
+        with ResultStore(str(tmp_path / "store")) as reopened:
+            assert reopened.record("k")["scalars"]["chip_id"] == second.chip_id
+
+    def test_thousand_job_store_stays_indexed_not_resident(
+        self, lifetime_results, tmp_path
+    ):
+        """The million-job contract in miniature: N appended jobs cost
+        the store one (offset, length) index entry each — results live
+        on disk, and streaming them back visits every record."""
+        result = lifetime_results.results["hayat"][0]
+        with ResultStore(str(tmp_path / "store")) as store:
+            for index in range(1000):
+                store.append(f"job-{index}", result, requirement_ghz=1.0)
+            assert len(store) == 1000
+            assert all(
+                isinstance(v, tuple) and len(v) == 2
+                for v in store._index.values()
+            )
+            assert sum(1 for _ in store.records()) == 1000
+        aggregates = aggregate_store(ResultStore(str(tmp_path / "store")))
+        assert aggregates.jobs == 1000
+
+
+class TestAggregates:
+    def test_running_stat_matches_numpy(self):
+        values = np.linspace(-3.0, 7.0, 101)
+        stat = RunningStat()
+        for value in values:
+            stat.add(value)
+        assert stat.count == values.size
+        np.testing.assert_allclose(stat.mean, values.mean())
+        np.testing.assert_allclose(stat.stddev, values.std(ddof=1))
+        assert (stat.min, stat.max) == (values.min(), values.max())
+
+    def test_running_stat_skips_non_finite(self):
+        stat = RunningStat()
+        for value in (1.0, None, float("nan"), float("inf"), 3.0):
+            stat.add(value)
+        assert stat.count == 2 and stat.mean == 2.0
+
+    def test_histogram_percentiles_on_uniform_data(self):
+        histogram = Histogram(0.0, 1.0, bins=256)
+        histogram.add_array(np.linspace(0.0, 1.0, 10_001))
+        for q in (5.0, 50.0, 95.0):
+            assert histogram.percentile(q) == pytest.approx(
+                q / 100.0, abs=2.0 / 256
+            )
+        assert Histogram(0.0, 1.0).percentile(50.0) is None
+
+    def test_store_and_campaign_paths_agree_bit_for_bit(
+        self, lifetime_results, tmp_path
+    ):
+        with ResultStore(str(tmp_path / "store")) as store:
+            for policy, results in lifetime_results.results.items():
+                for result in results:
+                    store.append(
+                        f"{policy}|{result.chip_id}",
+                        result,
+                        requirement_ghz=1.0,
+                    )
+            from_store = aggregate_store(store)
+        from_campaign = aggregate_campaign(
+            lifetime_results, requirement_ghz=1.0
+        )
+        assert json.dumps(
+            from_store.to_dict(baseline="vaa"), sort_keys=True
+        ) == json.dumps(from_campaign.to_dict(baseline="vaa"), sort_keys=True)
+
+    def test_normalized_requires_a_recorded_baseline(self, lifetime_results):
+        aggregates = aggregate_campaign(lifetime_results)
+        with pytest.raises(ValueError, match="baseline policy 'missing'"):
+            aggregates.normalized("missing")
+        normalized = aggregates.normalized("vaa")
+        assert set(normalized) == {"hayat"}
+        assert 0.5 in normalized["hayat"]
+
+
+class TestFleetRequest:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            FleetRequest.from_dict(fleet_request(policies=["warp-drive"]))
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown request field"):
+            FleetRequest.from_dict(fleet_request(frobnicate=True))
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            FleetRequest.from_dict(fleet_request(config={"warp": 9}))
+
+    def test_baseline_must_be_requested(self):
+        with pytest.raises(ValueError, match="baseline"):
+            FleetRequest.from_dict(
+                fleet_request(policies=["hayat"], baseline="vaa")
+            )
+
+    def test_content_addressed_request_id(self):
+        a = FleetRequest.from_dict(fleet_request())
+        b = FleetRequest.from_dict(fleet_request())
+        c = FleetRequest.from_dict(fleet_request(seed=4))
+        assert a.request_id == b.request_id != c.request_id
+
+    def test_shortcuts_land_in_config(self):
+        request = FleetRequest.from_dict(fleet_request(years=2.0, seed=7))
+        assert request.config.lifetime_years == 2.0
+        assert request.config.seed == 7
+        assert request.job_count == 4
+
+
+class TestDaemon:
+    def test_serve_then_repeat_is_all_cache_hits(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with FleetDaemon(root, workers=1) as daemon:
+                request_id = submit_request(root, fleet_request())
+                assert daemon.serve(drain=True) == 1
+                first = json.load(
+                    open(os.path.join(root, "results", f"{request_id}.json"))
+                )
+                assert first["simulated"] == first["jobs"] == 4
+                assert first["cache_hits"] == 0
+                submit_request(root, fleet_request())
+                assert daemon.serve(drain=True) == 1
+                second = json.load(
+                    open(os.path.join(root, "results", f"{request_id}.json"))
+                )
+        # Repeat submission answered fully from the store...
+        assert second["cache_hits"] == second["jobs"]
+        assert second["simulated"] == 0
+        assert registry.counter("fleet.cache_hits") == second["jobs"]
+        # ...with byte-identical aggregates.
+        assert json.dumps(first["aggregates"], sort_keys=True) == json.dumps(
+            second["aggregates"], sort_keys=True
+        )
+        assert "normalized" in first["aggregates"]
+
+    def test_restarted_daemon_rebuilds_identical_aggregates(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        with FleetDaemon(root) as daemon:
+            submit_request(root, fleet_request())
+            daemon.serve(drain=True)
+            live = daemon.aggregates.to_dict()
+        with FleetDaemon(root) as restarted:
+            rebuilt = restarted.aggregates.to_dict()
+        assert json.dumps(live, sort_keys=True) == json.dumps(
+            rebuilt, sort_keys=True
+        )
+
+    def test_invalid_request_gets_error_response(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        with FleetDaemon(root) as daemon:
+            spool = os.path.join(root, "spool")
+            with open(os.path.join(spool, "bad.json"), "w") as handle:
+                handle.write('{"policies": ["warp-drive"]}')
+            assert daemon.serve(drain=True) == 1
+            assert daemon.requests_failed == 1
+        response = json.load(
+            open(os.path.join(root, "results", "bad.json"))
+        )
+        assert "unknown policy" in response["error"]
+        assert not os.listdir(spool)
+
+    def test_different_requirement_misses_the_cache(self, tmp_path):
+        """The MTTF requirement shapes the stored scalars, so it must be
+        part of the job identity — never answered by a stale record."""
+        root = str(tmp_path / "fleet")
+        with FleetDaemon(root) as daemon:
+            submit_request(root, fleet_request())
+            daemon.serve(drain=True)
+            rid = submit_request(root, fleet_request(requirement_ghz=2.5))
+            daemon.serve(drain=True)
+            response = json.load(
+                open(os.path.join(root, "results", f"{rid}.json"))
+            )
+        assert response["cache_hits"] == 0
+        assert response["simulated"] == response["jobs"]
+
+    def test_status_cold_and_live(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        cold = fleet_status(root)
+        assert cold["jobs_stored"] == 0 and cold["queue_depth"] == 0
+        with FleetDaemon(root) as daemon:
+            submit_request(root, fleet_request())
+            daemon.serve(drain=True)
+        live = fleet_status(root)
+        assert live["jobs_stored"] == 4
+        assert live["requests_done"] == 1
+        assert live["aggregates"]["jobs"] == 4
+
+    def test_failed_jobs_are_not_cached(self, tmp_path):
+        """A job that exhausts retries must stay absent from the store
+        so a later request re-attempts it instead of caching failure."""
+        from tests.test_sim_supervisor import AlwaysCrashPolicy
+
+        from repro.sim.fleet import daemon as daemon_module
+
+        root = str(tmp_path / "fleet")
+        crashing = lambda: AlwaysCrashPolicy("chip-00")  # noqa: E731
+        original = daemon_module.FLEET_POLICIES
+        daemon_module.FLEET_POLICIES = dict(original, crashy=crashing)
+        try:
+            with FleetDaemon(root) as daemon:
+                rid = submit_request(
+                    root,
+                    fleet_request(policies=["crashy"], baseline=None),
+                )
+                daemon.serve(drain=True)
+                response = json.load(
+                    open(os.path.join(root, "results", f"{rid}.json"))
+                )
+                assert len(response["failures"]) == 1
+                assert response["failures"][0]["chip"] == "chip-00"
+                # One chip crashed, one completed: only the success is
+                # stored, and a re-run re-simulates only the failure.
+                assert len(daemon.store) == 1
+                submit_request(
+                    root, fleet_request(policies=["crashy"], baseline=None)
+                )
+                daemon.serve(drain=True)
+                retry = json.load(
+                    open(os.path.join(root, "results", f"{rid}.json"))
+                )
+                assert retry["cache_hits"] == 1
+                assert retry["simulated"] == 1
+        finally:
+            daemon_module.FLEET_POLICIES = original
+
+
+class TestDaemonPool:
+    def test_warm_pool_reused_across_requests(self, tmp_path):
+        """Back-to-back requests with the same campaign digest must run
+        on the same spawn pool (signature-keyed reuse), not rebuild it."""
+        root = str(tmp_path / "fleet")
+        with FleetDaemon(root, workers=2) as daemon:
+            submit_request(
+                root, fleet_request(policies=["hayat"], baseline=None)
+            )
+            daemon.serve(drain=True)
+            first_pool = daemon.pool_host._pool
+            assert first_pool is not None
+            # Different requirement: same digest (config unchanged), so
+            # jobs re-simulate on the *same* warm pool.
+            submit_request(
+                root,
+                fleet_request(
+                    policies=["hayat"], baseline=None, requirement_ghz=2.0
+                ),
+            )
+            daemon.serve(drain=True)
+            assert daemon.pool_host._pool is first_pool
+            assert len(daemon.store) == 4
+
+
+class TestKillResume:
+    def test_sigkill_mid_run_then_resume_bit_identical(self, tmp_path):
+        """The acceptance scenario: SIGKILL the daemon mid-request,
+        restart it, and the response aggregates are byte-identical to an
+        uninterrupted fleet's."""
+        request = fleet_request(chips=4, years=1.0)
+
+        # Uninterrupted reference fleet.
+        reference_root = str(tmp_path / "reference")
+        with FleetDaemon(reference_root) as daemon:
+            request_id = submit_request(reference_root, request)
+            daemon.serve(drain=True)
+        reference = json.load(
+            open(
+                os.path.join(
+                    reference_root, "results", f"{request_id}.json"
+                )
+            )
+        )
+
+        # Victim fleet: spawn the CLI daemon, kill it mid-request.
+        root = str(tmp_path / "fleet")
+        submit_request(root, request)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.abspath(src), env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--fleet-dir", root, "--drain", "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        scalars = os.path.join(root, "store", "scalars.jsonl")
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break  # finished before we could kill it; resume is
+                # then a pure cache replay, which must still match.
+            if os.path.exists(scalars) and os.path.getsize(scalars) > 0:
+                break
+            time.sleep(0.05)
+        if proc.poll() is None:
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+
+        # Restart: the spool still holds the request (never retired
+        # mid-run); stored jobs answer from cache, the rest re-run.
+        with FleetDaemon(root) as daemon:
+            assert daemon.serve(drain=True) == 1
+        resumed = json.load(
+            open(os.path.join(root, "results", f"{request_id}.json"))
+        )
+        assert resumed["jobs"] == reference["jobs"]
+        assert json.dumps(
+            resumed["aggregates"], sort_keys=True
+        ) == json.dumps(reference["aggregates"], sort_keys=True)

@@ -47,6 +47,22 @@ class TestSweep:
         with pytest.raises(ValueError, match="unknown metric"):
             sweep.metric("magic", "vaa", "hayat")
 
+    def test_missing_floor_names_the_floor(self, sweep):
+        """Regression: a SweepResult whose ``fractions`` listed a floor
+        with no recorded campaign raised a bare ``KeyError: 0.75`` from
+        the dict lookup; it must be a ValueError naming the missing
+        floor and what *was* recorded."""
+        from repro.sim import SweepResult
+
+        ragged = SweepResult(
+            fractions=[0.25, 0.75],
+            campaigns={0.25: sweep.campaigns[0.25]},
+        )
+        with pytest.raises(
+            ValueError, match=r"dark fraction 0.75.*recorded floors"
+        ):
+            ragged.metric("temp", "vaa", "hayat")
+
     def test_empty_fractions_rejected(self, aging_table):
         with pytest.raises(ValueError):
             sweep_dark_fractions([HayatManager()], fractions=[])
